@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*.py`` here regenerates one of the paper's tables/figures as
+a pytest-benchmark run: the benchmark table printed by
+``pytest benchmarks/ --benchmark-only`` carries the timing columns, and
+the assertions in each test pin the qualitative *shape* the paper
+reports (who wins, what fails, where timeouts appear).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import case_by_name
+
+
+@pytest.fixture(scope="session")
+def cases():
+    """The benchmark cases used across the harness (small + medium)."""
+    return {name: case_by_name(name) for name in ("size3i", "size3", "size5", "size10")}
+
+
+@pytest.fixture(scope="session")
+def mode0_matrices(cases):
+    return {name: case.mode_matrix(0) for name, case in cases.items()}
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)

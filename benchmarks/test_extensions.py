@@ -1,0 +1,97 @@
+"""Benchmarks for the extension subsystems (beyond the paper's tables).
+
+Times the certification-campaign building blocks — certificates,
+flowpipes, fault margins, common-Lyapunov search, discrete-time
+verification — so regressions in the extended pipeline are visible next
+to the paper-reproduction numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import case_by_name, fault_margin
+from repro.lyapunov import synthesize, synthesize_common, synthesize_discrete
+from repro.lyapunov.discrete import validate_discrete_candidate
+from repro.reach import Zonotope, compute_flowpipe
+from repro.robust import StabilityCertificate, certify_mode
+
+
+@pytest.fixture(scope="module")
+def size5_mode0():
+    case = case_by_name("size5")
+    system = case.switched_system(case.reference())
+    candidate = synthesize("lmi", case.mode_matrix(0), backend="ipm")
+    return case, system.modes[0].flow, system.modes[0].region.halfspaces[0], candidate
+
+
+def test_certificate_build_and_verify(benchmark, size5_mode0):
+    _case, flow, halfspace, candidate = size5_mode0
+
+    def build():
+        certificate = certify_mode(flow, halfspace, candidate.exact_p(10))
+        return StabilityCertificate.from_json(certificate.to_json()).verify()
+
+    assert benchmark(build) is True
+
+
+@pytest.mark.parametrize("horizon", [0.5, 2.0])
+def test_flowpipe_compute(benchmark, size5_mode0, horizon):
+    _case, flow, _halfspace, _candidate = size5_mode0
+    initial = Zonotope.ball_inf(flow.equilibrium(), 0.01)
+    pipe = benchmark(compute_flowpipe, flow, initial, horizon)
+    assert len(pipe) >= 4
+
+
+def test_fault_margin_bisection(benchmark):
+    plant = case_by_name("size18").plant
+
+    margin = benchmark.pedantic(
+        fault_margin,
+        args=(plant, "actuator-effectiveness", 0),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0 < margin <= 1.0
+
+
+def test_common_lyapunov_search(benchmark):
+    a0 = np.diag([-1.0, -3.0, -2.0])
+    a1 = np.diag([-2.0, -0.5, -4.0])
+    result = benchmark.pedantic(
+        synthesize_common,
+        args=([a0, a1],),
+        kwargs={"max_iterations": 30_000},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.feasible
+
+
+def test_discrete_pipeline(benchmark):
+    from scipy.linalg import expm
+
+    a_disc = expm(case_by_name("size5").mode_matrix(0) * 0.02)
+
+    def pipeline():
+        candidate = synthesize_discrete(a_disc)
+        positivity, decrease = validate_discrete_candidate(candidate, a_disc)
+        return positivity.valid and decrease.valid
+
+    assert benchmark(pipeline) is True
+
+
+def test_shape_flowpipe_cost_grows_with_horizon(size5_mode0):
+    import time
+
+    _case, flow, _halfspace, _candidate = size5_mode0
+    initial = Zonotope.ball_inf(flow.equilibrium(), 0.01)
+    start = time.perf_counter()
+    short = compute_flowpipe(flow, initial, 0.25)
+    t_short = time.perf_counter() - start
+    start = time.perf_counter()
+    long = compute_flowpipe(flow, initial, 4.0)
+    t_long = time.perf_counter() - start
+    assert len(long) > len(short)
+    assert t_long > t_short * 0.5  # monotone up to noise

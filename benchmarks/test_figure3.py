@@ -1,0 +1,115 @@
+"""Benchmark harness for Figure 3 — validation time per symbolic solver.
+
+Validates the *same* candidate with every registered validator and lets
+pytest-benchmark print the comparison; assertions pin the paper's
+ordering (Sylvester fastest, search-based slowest, "+ det" encoding
+helping the search-based solver on singular-adjacent inputs).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import case_by_name
+from repro.exact import RationalMatrix
+from repro.lyapunov import synthesize
+from repro.validate import run_validator, validate_candidate
+
+EXACT_VALIDATORS = ["sylvester", "gauss", "ldl", "sympy"]
+ICP_VALIDATORS = ["icp", "icp+det"]
+
+
+@pytest.fixture(scope="module")
+def shared_candidates():
+    out = {}
+    for case_name in ("size3", "size5", "size10"):
+        a = case_by_name(case_name).mode_matrix(0)
+        out[case_name] = (a, synthesize("eq-num", a))
+    return out
+
+
+@pytest.mark.parametrize("validator", EXACT_VALIDATORS)
+@pytest.mark.parametrize("case_name", ["size3", "size5", "size10"])
+def test_exact_validators(benchmark, shared_candidates, validator, case_name):
+    a, candidate = shared_candidates[case_name]
+    report = benchmark(
+        validate_candidate, candidate, a, validator=validator
+    )
+    assert report.valid is True
+
+
+@pytest.mark.parametrize("validator", ICP_VALIDATORS)
+def test_icp_validators(benchmark, validator):
+    """The search-based (SMT-style) validators on a small deterministic
+    instance.
+
+    Even the 6-dimensional size-3 closed loop exceeds a laptop budget
+    for the search-based route (the paper's Z3/CVC5 bars tower over the
+    minor-based checks for the same reason), and rounded rational
+    candidates have unpredictable proof cost; the timing sample here
+    therefore uses a fixed diagonally dominant integer system whose
+    proof terminates quickly."""
+    import numpy as np
+
+    from repro.lyapunov import LyapunovCandidate
+
+    a3 = np.array([[-4.0, 1.0, 0.0], [0.0, -5.0, 1.0], [1.0, 0.0, -6.0]])
+    candidate = LyapunovCandidate(
+        np.array([[5.0, 1.0, 0.0], [1.0, 4.0, 1.0], [0.0, 1.0, 6.0]]),
+        method="fixed",
+    )
+    report = benchmark.pedantic(
+        validate_candidate,
+        args=(candidate, a3),
+        kwargs={"validator": validator, "max_boxes": 300_000},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.valid is True
+
+
+def test_shape_sylvester_beats_search(shared_candidates):
+    """Figure 3's ordering: the ad-hoc Sylvester method is the fastest
+    validator; the ICP (SMT-search) route is orders of magnitude slower —
+    on the size-3 closed loop it cannot even finish within a small budget
+    (the Z3/CVC5-timeout analogue), while Sylvester proves it instantly."""
+    a, candidate = shared_candidates["size3"]
+    start = time.perf_counter()
+    report = validate_candidate(candidate, a, validator="sylvester")
+    sylvester = time.perf_counter() - start
+    assert report.valid is True
+    start = time.perf_counter()
+    budget_limited = validate_candidate(
+        candidate, a, validator="icp", max_boxes=3_000
+    )
+    icp = time.perf_counter() - start
+    assert icp > 3 * sylvester
+    assert budget_limited.valid is not False  # undecided, never refuted
+
+
+def test_shape_det_encoding_decides_singular_inputs():
+    """The '+ det' option settles inputs the strict encoding cannot: a
+    PSD-singular matrix with a non-dyadic null direction."""
+    matrix = RationalMatrix([[9, -3], [-3, 1]])
+    strict = run_validator("icp", matrix, max_boxes=2_000)
+    plus_det = run_validator("icp+det", matrix)
+    assert strict.valid is None  # undecided within budget
+    assert plus_det.valid is False  # refuted via the determinant
+
+    # And on a definite matrix both agree.
+    pd = RationalMatrix([[5, 1], [1, 3]])
+    assert run_validator("icp", pd).valid is True
+    assert run_validator("icp+det", pd).valid is True
+
+
+def test_shape_all_exact_validators_agree(shared_candidates):
+    for case_name, (a, candidate) in shared_candidates.items():
+        verdicts = {
+            validator: validate_candidate(
+                candidate, a, validator=validator
+            ).valid
+            for validator in EXACT_VALIDATORS
+        }
+        assert set(verdicts.values()) == {True}, f"disagreement at {case_name}"

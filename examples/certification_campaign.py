@@ -1,0 +1,104 @@
+"""A miniature certification campaign for the engine control loop.
+
+Chains the library's independent evidence sources the way a
+certification workflow would:
+
+1. exact Lyapunov proof of mode stability (the paper's pipeline);
+2. a machine-checkable certificate, serialized and re-verified;
+3. failure injection: tolerated actuator/sensor degradation margins;
+4. Monte Carlo validation of the reference-perturbation radius;
+5. a zonotope flowpipe independently confirming region invariance.
+
+Run:  python examples/certification_campaign.py
+"""
+
+import numpy as np
+
+import repro
+from repro.engine import fault_margin, mode_gains
+from repro.exact import RationalMatrix, solve_vector, to_fraction
+from repro.reach import Zonotope, verify_invariance
+from repro.robust import (
+    EpsilonInputs,
+    StabilityCertificate,
+    certify_mode,
+    epsilon_radius,
+    monte_carlo_epsilon_check,
+    surface_geometry,
+)
+from repro.systems import closed_loop_matrices
+
+
+def main() -> None:
+    case = repro.case_by_name("size10")
+    r = case.reference()
+    system = case.switched_system(r)
+    mode = 0
+    flow = system.modes[mode].flow
+    halfspace = system.modes[mode].region.halfspaces[0]
+    print(f"campaign target: {case.name}, operating mode {mode}\n")
+
+    # 1. Exact stability proof.
+    candidate = repro.synthesize("lmi-alpha", case.mode_matrix(mode))
+    report = repro.validate_candidate(candidate, case.mode_matrix(mode))
+    assert report.valid
+    print(f"[1] Lyapunov proof: valid ({report.validator}, "
+          f"{report.total_time:.2f}s)")
+
+    # 2. Certificate round trip.
+    certificate = certify_mode(
+        flow, halfspace, candidate.exact_p(10),
+        provenance={"case": case.name, "method": candidate.label},
+    )
+    restored = StabilityCertificate.from_json(certificate.to_json())
+    assert restored.verify()
+    print(f"[2] certificate: k = {float(certificate.k):.4g}, "
+          f"JSON round-trip re-verified")
+
+    # 3. Failure injection.
+    print("[3] fault margins (severity in [0, 1] keeping both modes stable):")
+    for kind, channel, label in (
+        ("actuator-effectiveness", 0, "fuel actuator"),
+        ("actuator-effectiveness", 1, "nozzle actuator"),
+        ("sensor-gain", 0, "LPC speed sensor"),
+        ("sensor-gain", 3, "HPC speed sensor"),
+    ):
+        margin = fault_margin(case.plant, kind, channel)
+        print(f"      {label:22s} tolerates {margin:5.1%} degradation")
+
+    # 4. Monte Carlo epsilon validation.
+    w_eq = solve_vector(
+        RationalMatrix.from_numpy(flow.a),
+        [-to_fraction(v) for v in flow.b.tolist()],
+    )
+    _, b_cl = closed_loop_matrices(case.plant, mode_gains(mode))
+    epsilon = epsilon_radius(
+        EpsilonInputs(
+            flow_a=flow.a, b_cl=b_cl, p=candidate.p,
+            k=float(certificate.k),
+            w_eq=np.array([float(v) for v in w_eq]),
+            geometry=surface_geometry(halfspace, flow),
+        )
+    )
+    mc = monte_carlo_epsilon_check(
+        case.switched_system, r, mode=mode, epsilon=epsilon,
+        trials=5, t_final=25.0, seed=2,
+    )
+    assert mc.all_switch_free and mc.all_converged, mc.failures
+    print(f"[4] Monte Carlo: {mc.trials} perturbed references within "
+          f"epsilon = {epsilon:.3g}: 0 switches, all converged")
+
+    # 5. Reachability cross-check.
+    w_eq_float = np.array([float(v) for v in w_eq])
+    mu_max = float(np.linalg.eigvalsh(candidate.p).max())
+    radius = 0.4 * np.sqrt(float(certificate.k) / mu_max) / np.sqrt(len(w_eq))
+    initial = Zonotope.ball_inf(w_eq_float, radius)
+    assert verify_invariance(flow, initial, halfspace, horizon=2.0)
+    print(f"[5] flowpipe: box of radius {radius:.3g} around the "
+          f"equilibrium provably never crosses the switching surface")
+
+    print("\n==> all five evidence sources agree; campaign complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Engine case study tour: architecture, benchmark ladder, exact proofs.
+
+Walks the paper's Section V setup — the dual-spool turbofan under a
+switched PI controller (reproduced below as a block diagram) — then
+sweeps the whole benchmark ladder (sizes 3..18, integer variants
+included), synthesizing and exactly validating a Lyapunov function for
+both operating modes of every case. For the smallest case it goes one
+step further than the paper and *proves* Hurwitz stability of the
+closed-loop matrix itself with an exact Routh–Hurwitz test.
+
+Run:  python examples/engine_stability.py
+"""
+
+import numpy as np
+
+import repro
+from repro.engine import MODES, OUTPUT_NAMES
+from repro.exact import RationalMatrix, is_hurwitz_matrix
+
+DIAGRAM = r"""
+                 +--------------------- UC5 engine control ---------------------+
+  r0 (LPC spd) ->| PI LPC-speed  \
+                 |                >- min/switch --> u0 fuel flow   -----+       |
+  r1 (HPC PR)  ->| PI HPC-PR     /        (mode 0 <-> mode 1)           |       |
+                 |                                                      v       |
+  r2 (Mach)    ->| PI Mach-exit  ------------------> u1 nozzle --> [ ENGINE ]   |
+                 |                                                  18 states   |
+  r3 (HPC spd) ->| PI HPC-speed  ------------------> u2 IGV    -->  4 outputs   |
+                 +------------------------^-------------------------------------+
+                                          |        y = (y0, y1, y2, y3)
+                                          +---------------- feedback ----------+
+       switching law: mode 0 (nominal) iff r0 - y0 < Theta, Theta = 1
+"""
+
+
+def main() -> None:
+    print(DIAGRAM)
+    plant = repro.build_engine_plant()
+    print("engine outputs:", ", ".join(OUTPUT_NAMES))
+    gain = plant.dc_gain()
+    print("DC gain (outputs x inputs):")
+    for i, name in enumerate(OUTPUT_NAMES):
+        row = "  ".join(f"{gain[i, j]:+.3f}" for j in range(3))
+        print(f"  {name:20s} {row}")
+
+    print("\nBenchmark ladder (balanced truncation + integer variants):")
+    print(f"{'case':8s} {'dim':>4s} {'mode0 valid':>12s} {'mode1 valid':>12s}")
+    for case in repro.benchmark_suite():
+        verdicts = []
+        for mode in MODES:
+            a = case.mode_matrix(mode)
+            candidate = repro.synthesize("lmi-alpha", a, backend="shift")
+            report = repro.validate_candidate(candidate, a)
+            verdicts.append(str(report.valid))
+        print(
+            f"{case.name:8s} {case.closed_loop_dimension:4d} "
+            f"{verdicts[0]:>12s} {verdicts[1]:>12s}"
+        )
+
+    # Exact Hurwitz proof (beyond the paper) for the integer size-3 case.
+    case = repro.case_by_name("size3i")
+    a0 = RationalMatrix.from_numpy(case.mode_matrix(0))
+    print(
+        "\nexact Routh–Hurwitz proof, size3i mode 0 closed loop:",
+        "Hurwitz" if is_hurwitz_matrix(a0) else "NOT Hurwitz",
+    )
+
+    # Spot-check the verified claim dynamically: simulate mode 0.
+    r = case.reference()
+    switched = case.switched_system(r)
+    w_eq = switched.modes[0].flow.equilibrium()
+    rng = np.random.default_rng(7)
+    w0 = w_eq + rng.normal(scale=0.05, size=len(w_eq))
+    trajectory = repro.simulate_pwa(switched, w0, t_final=20.0)
+    err = float(np.linalg.norm(trajectory.final_state - w_eq))
+    print(
+        f"simulation from a perturbed equilibrium: final error {err:.2e}, "
+        f"{trajectory.n_switches} mode switches"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Robust regions in action: verified invariants meet simulation.
+
+Reproduces the Section VI-C analysis on the size-10 benchmark: for each
+operating mode, synthesize a Lyapunov function, compute the exact robust
+level ``k`` (the largest sublevel set from which no mode switch can
+occur), the truncated-ellipsoid volume, and the reference-perturbation
+radius ``epsilon`` — then *demonstrates* the verified claim by
+simulation: trajectories started inside the robust region converge to
+the equilibrium without ever switching mode.
+
+Run:  python examples/robust_regions.py
+"""
+
+import numpy as np
+
+import repro
+from repro.engine import MODES, mode_gains
+from repro.exact import RationalMatrix, solve_vector, to_fraction
+from repro.robust import (
+    EpsilonInputs,
+    epsilon_radius,
+    surface_geometry,
+    truncated_ellipsoid_volume,
+)
+from repro.systems import closed_loop_matrices
+
+
+def sample_in_sublevel(p, w_eq, k, rng, fraction=0.9):
+    """A random point with V(w) = fraction^2 * k (on a shrunken shell)."""
+    n = len(w_eq)
+    direction = rng.normal(size=n)
+    # Normalize in the P-metric: V(w_eq + d) = d^T P d.
+    scale = np.sqrt(direction @ p @ direction)
+    return w_eq + direction * (fraction * np.sqrt(k) / scale)
+
+
+def main() -> None:
+    case = repro.case_by_name("size10")
+    r = case.reference()
+    system = case.switched_system(r)
+    rng = np.random.default_rng(42)
+    print(f"case {case.name}: closed-loop dimension {system.dimension}")
+    print(f"reference r = {[round(float(x), 3) for x in r]}\n")
+
+    for mode in MODES:
+        flow = system.modes[mode].flow
+        halfspace = system.modes[mode].region.halfspaces[0]
+        a = case.mode_matrix(mode)
+        candidate = repro.synthesize("lmi", a, backend="ipm")
+        assert repro.validate_candidate(candidate, a).valid
+
+        p_exact = candidate.exact_p(10)
+        region = repro.synthesize_robust_level(flow, halfspace, p_exact)
+        w_eq = solve_vector(
+            RationalMatrix.from_numpy(flow.a),
+            [-to_fraction(x) for x in flow.b.tolist()],
+        )
+        w_eq_float = np.array([float(x) for x in w_eq])
+        k = region.k_float()
+        print(f"mode {mode}: robust level k = {k:.4g} ({region.case})")
+
+        volume = truncated_ellipsoid_volume(
+            candidate.p, k, w_eq_float,
+            halfspace.normal_float(), float(halfspace.offset),
+        )
+        _, b_cl = closed_loop_matrices(case.plant, mode_gains(mode))
+        epsilon = epsilon_radius(
+            EpsilonInputs(
+                flow_a=flow.a, b_cl=b_cl, p=candidate.p, k=k,
+                w_eq=w_eq_float, geometry=surface_geometry(halfspace, flow),
+            )
+        )
+        print(f"         volume(W) = {volume:.3g},  epsilon = {epsilon:.3g}")
+
+        # Verified prediction: start inside {V <= 0.8^2 k}, never switch.
+        p_rounded = p_exact.to_numpy()
+        switches = []
+        for _ in range(5):
+            w0 = sample_in_sublevel(p_rounded, w_eq_float, k, rng, fraction=0.8)
+            assert halfspace.contains(list(w0)), "sample left the region"
+            trajectory = repro.simulate_pwa(system, w0, t_final=15.0)
+            switches.append(trajectory.n_switches)
+            final_error = float(np.linalg.norm(trajectory.final_state - w_eq_float))
+            assert final_error < 1e-3, "trajectory failed to converge"
+        print(
+            f"         5 simulated trajectories from inside W: "
+            f"switch counts {switches} (verified: all zero)\n"
+        )
+        assert all(s == 0 for s in switches)
+
+    print("==> robust-region predictions confirmed dynamically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Switched closed-loop simulation: reference steps and mode switching.
+
+Simulates the full 21-state hybrid closed loop through a scenario the
+paper's introduction motivates: the supervisory system commands a new
+LPC spool-speed reference, the error ``r0 - y0`` exceeds the safety
+margin ``Theta``, the controller switches from the nominal LPC-speed
+mode to the HPC-pressure-ratio mode, and switches back as the engine
+spools up. Outputs are rendered as ASCII sparklines.
+
+Run:  python examples/switched_simulation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.engine import OUTPUT_NAMES, THETA
+
+BARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width), np.arange(len(values)), values
+    )
+    lo, hi = float(resampled.min()), float(resampled.max())
+    span = (hi - lo) or 1.0
+    levels = ((resampled - lo) / span * (len(BARS) - 1)).astype(int)
+    return "".join(BARS[level] for level in levels)
+
+
+def main() -> None:
+    plant = repro.build_engine_plant()
+    # Cold-start scenario: pick the LPC speed command *below* the speed
+    # the pressure-ratio loop would settle at (margin -2 instead of the
+    # nominal +1). The limiter mode then hands control back to the
+    # nominal mode as the engine spools up, exercising the switch.
+    reference = repro.nominal_reference(plant, margin=-2.0)
+    system = repro.build_closed_loop(plant, repro.paper_controller(), reference)
+
+    # Engine at rest: every output is zero, so the LPC-speed error
+    # r0 - y0 = r0 exceeds Theta and the HPC-pressure-ratio controller
+    # (mode 1) takes the fuel loop first.
+    w0 = np.zeros(system.dimension)
+    assert system.mode_of(w0) == 1
+    trajectory = repro.simulate_pwa(system, w0, t_final=25.0, max_step=0.01)
+
+    n = plant.n_states
+    y = trajectory.states[:, :n] @ plant.c.T
+    print(
+        f"simulated {trajectory.times[-1]:.1f}s of engine time, "
+        f"{len(trajectory.times)} steps, {trajectory.n_switches} mode "
+        f"switch(es) at t = {[round(t, 3) for t in trajectory.switch_times]}"
+    )
+    print(f"switching margin Theta = {THETA}\n")
+    for k, name in enumerate(OUTPUT_NAMES):
+        target = reference[k]
+        print(f"{name:18s} -> {target:7.3f}  |{sparkline(y[:, k])}|")
+    print(f"{'active mode':18s}            |{sparkline(trajectory.modes.astype(float))}|")
+
+    final_y = y[-1]
+    print("\nfinal outputs vs reference:")
+    for k, name in enumerate(OUTPUT_NAMES):
+        print(
+            f"  {name:20s} y = {final_y[k]:8.4f}   r = {reference[k]:8.4f}"
+            f"   error = {final_y[k] - reference[k]:+.2e}"
+        )
+    mode_final = system.mode_of(trajectory.final_state)
+    print(f"\nfinal operating mode: {mode_final} (nominal = 0)")
+    assert trajectory.n_switches >= 1, "the spool-up must hand over modes"
+    assert mode_final == 0
+    # Mode 0 regulates y0 to r0; verify the engine got there.
+    assert abs(final_y[0] - reference[0]) < 1e-2
+    print("==> spool-up handover executed; reference tracked in mode 0.")
+
+
+if __name__ == "__main__":
+    main()

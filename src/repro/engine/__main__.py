@@ -1,0 +1,79 @@
+"""``python -m repro.engine`` — case-study fact sheet.
+
+Prints the synthetic engine's structure, DC gains, per-loop stability
+margins, the benchmark ladder with Hankel singular values, and the
+nominal reference/equilibria — the quantities DESIGN.md's substitution
+argument rests on.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from ..reduction import balance
+from ..systems import loop_margins, transfer_function
+from .benchmarks import benchmark_suite
+from .gains import THETA, mode_gains
+from .model import INPUT_NAMES, OUTPUT_NAMES, STATE_NAMES, build_engine_plant
+from .references import equilibrium_output, mode_equilibrium, nominal_reference
+
+
+def main() -> int:
+    """Print the case-study fact sheet; returns the exit code."""
+    plant = build_engine_plant()
+    print("Synthetic dual-spool turbofan (paper Section V substitution)")
+    print(f"  states:  {plant.n_states}   inputs: {plant.n_inputs}   "
+          f"outputs: {plant.n_outputs}")
+    print(f"  open-loop spectral abscissa: {plant.spectral_abscissa():.3f}")
+    print("\nState variables:")
+    for index, name in enumerate(STATE_NAMES):
+        print(f"  x{index:<3d} {name}")
+    print("\nDC gain (outputs x inputs):")
+    gain = plant.dc_gain()
+    header = " " * 22 + "  ".join(f"{name:>12s}" for name in INPUT_NAMES)
+    print(header)
+    for i, name in enumerate(OUTPUT_NAMES):
+        row = "  ".join(f"{gain[i, j]:12.4f}" for j in range(plant.n_inputs))
+        print(f"  {name:20s}{row}")
+
+    print("\nPer-loop stability margins (mode 0 pairing):")
+    omegas = np.logspace(-2, 3, 400)
+    pairings = [(0, 0, "fuel->LPC speed"), (1, 2, "nozzle->Mach"), (2, 3, "IGV->HPC speed")]
+    gains = mode_gains(0)
+    for input_index, output_index, label in pairings:
+        kp = gains.kp[input_index, output_index]
+        ki = gains.ki[input_index, output_index]
+
+        def loop(w, i=input_index, o=output_index, kp=kp, ki=ki):
+            s = 1j * w
+            return (kp + ki / s) * transfer_function(plant, s)[o, i]
+
+        margins = loop_margins(loop, omegas)
+        print(
+            f"  {label:18s} PM = {margins.phase_margin_deg:6.1f} deg, "
+            f"GM = {margins.gain_margin_db:6.1f} dB"
+        )
+
+    print(f"\nSwitching margin Theta = {THETA}")
+    r = nominal_reference(plant)
+    print(f"nominal reference r = {np.round(r, 4).tolist()}")
+    for mode in (0, 1):
+        y = equilibrium_output(plant, mode_equilibrium(plant, mode, r))
+        print(f"  mode {mode} equilibrium outputs: {np.round(y, 4).tolist()}")
+
+    print("\nBenchmark ladder:")
+    hankel = balance(plant).hankel_values
+    print(f"  Hankel singular values: {np.round(hankel[:10], 4).tolist()} ...")
+    for case in benchmark_suite():
+        stable = "stable" if case.is_closed_loop_stable() else "UNSTABLE"
+        print(
+            f"  {case.name:8s} dim {case.closed_loop_dimension:2d}  "
+            f"closed loop {stable} in both modes"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

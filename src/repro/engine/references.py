@@ -1,0 +1,56 @@
+"""Reference-value selection for the case study.
+
+The robustness analysis (paper Section VI-C) considers reference
+assignments where each mode's closed-loop equilibrium lies in that
+mode's own operating region:
+
+* mode 0 regulates ``y0`` to ``r0``, so its equilibrium always satisfies
+  the mode-0 guard ``y0 - r0 + Theta = Theta > 0``;
+* mode 1 regulates ``(y1, y2, y3)``; its equilibrium's ``y0`` is then
+  determined by the plant, and the mode-1 guard needs
+  ``y0 <= r0 - Theta``. :func:`nominal_reference` picks ``r0`` above the
+  mode-1 equilibrium output with a configurable margin so that both
+  equilibria are strictly interior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..systems import StateSpace, fixed_mode_closed_loop
+from .gains import THETA, mode_gains
+
+__all__ = ["mode_equilibrium", "equilibrium_output", "nominal_reference"]
+
+#: Default setpoints for (HPC pressure ratio, Mach exit, HPC spool speed).
+DEFAULT_TAIL = (1.0, 0.5, 2.0)
+
+
+def mode_equilibrium(plant: StateSpace, mode: int, r: np.ndarray) -> np.ndarray:
+    """Closed-loop equilibrium ``w_eq = (x_eq, u_eq)`` of one mode."""
+    flow = fixed_mode_closed_loop(plant, mode_gains(mode), r)
+    return flow.equilibrium()
+
+
+def equilibrium_output(plant: StateSpace, w_eq: np.ndarray) -> np.ndarray:
+    """Plant output at a closed-loop equilibrium point."""
+    return plant.c @ w_eq[: plant.n_states]
+
+
+def nominal_reference(
+    plant: StateSpace,
+    tail: tuple[float, float, float] = DEFAULT_TAIL,
+    theta: float = THETA,
+    margin: float = 1.0,
+) -> np.ndarray:
+    """A reference vector putting both equilibria in their own regions.
+
+    ``tail`` fixes ``(r1, r2, r3)``. The mode-1 equilibrium's ``y0`` does
+    not depend on ``r0`` (mode 1 never feeds ``r0`` back), so ``r0`` is
+    set to ``y0_eq + theta + margin``.
+    """
+    probe = np.array([0.0, *tail])
+    w_eq1 = mode_equilibrium(plant, 1, probe)
+    y0_eq = float(equilibrium_output(plant, w_eq1)[0])
+    r = np.array([y0_eq + theta + margin, *tail])
+    return r

@@ -1,0 +1,87 @@
+"""Exact rational linear algebra (the proof substrate).
+
+Everything downstream that claims a *verdict* — a Lyapunov candidate is
+valid, a matrix is Hurwitz, a robust-region level is optimal — routes
+through this package, which computes over :class:`fractions.Fraction`
+with no floating point anywhere.
+"""
+
+from .definiteness import (
+    definiteness_counterexample,
+    gauss_positive_definite,
+    is_negative_definite,
+    is_negative_semidefinite,
+    is_positive_semidefinite,
+    ldl_positive_definite,
+    sylvester_positive_definite,
+)
+from .kharitonov import (
+    interval_polynomial_is_hurwitz,
+    kharitonov_polynomials,
+    stability_radius_coefficients,
+)
+from .factor import (
+    bareiss_determinant,
+    determinant,
+    gauss_pivots,
+    inverse,
+    ldl,
+    rank,
+    solve,
+    solve_vector,
+)
+from .matrix import RationalMatrix
+from .poly import charpoly, is_hurwitz_matrix, is_hurwitz_polynomial, poly_eval, routh_table
+from .sturm import (
+    count_real_roots,
+    eigenvalue_intervals,
+    isolate_real_roots,
+    lambda_min_bounds,
+    sturm_sequence,
+)
+from .rational import (
+    Number,
+    decimal_exponent,
+    fraction_to_float,
+    round_sigfigs,
+    round_to_int,
+    to_fraction,
+)
+
+__all__ = [
+    "RationalMatrix",
+    "Number",
+    "to_fraction",
+    "decimal_exponent",
+    "round_sigfigs",
+    "round_to_int",
+    "fraction_to_float",
+    "bareiss_determinant",
+    "determinant",
+    "gauss_pivots",
+    "solve",
+    "solve_vector",
+    "inverse",
+    "rank",
+    "ldl",
+    "charpoly",
+    "poly_eval",
+    "routh_table",
+    "is_hurwitz_polynomial",
+    "is_hurwitz_matrix",
+    "sylvester_positive_definite",
+    "gauss_positive_definite",
+    "ldl_positive_definite",
+    "is_positive_semidefinite",
+    "is_negative_definite",
+    "is_negative_semidefinite",
+    "definiteness_counterexample",
+    "kharitonov_polynomials",
+    "interval_polynomial_is_hurwitz",
+    "stability_radius_coefficients",
+    "sturm_sequence",
+    "count_real_roots",
+    "isolate_real_roots",
+    "eigenvalue_intervals",
+    "lambda_min_bounds",
+]

@@ -1,0 +1,146 @@
+"""Exact definiteness certificates for symmetric rational matrices.
+
+Three independent decision procedures are provided, mirroring the
+validator families compared in the paper's Figure 3:
+
+* :func:`sylvester_positive_definite` — Sylvester's criterion: positivity
+  of every leading principal minor, with determinants computed by the
+  fraction-free Bareiss algorithm (the paper's fastest validator; in
+  this implementation the single-pass elimination checks below beat it).
+* :func:`gauss_positive_definite` — SymPy-style check: Gaussian
+  elimination without row renormalization, then positivity of the
+  diagonal pivots.
+* :func:`ldl_positive_definite` — LDL^T pivots (an ablation variant).
+
+Semidefinite variants support the "+ det" encoding: ``M ≻ 0`` iff
+``M ⪰ 0 ∧ det(M) ≠ 0``.
+
+All functions require symmetric input and raise otherwise; verdicts are
+exact proofs over the rationals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .factor import bareiss_determinant, gauss_pivots, ldl
+from .matrix import RationalMatrix
+
+__all__ = [
+    "sylvester_positive_definite",
+    "gauss_positive_definite",
+    "ldl_positive_definite",
+    "is_positive_semidefinite",
+    "is_negative_definite",
+    "is_negative_semidefinite",
+    "definiteness_counterexample",
+]
+
+
+def _require_symmetric(matrix: RationalMatrix) -> None:
+    if not matrix.is_symmetric():
+        raise ValueError("definiteness checks require a symmetric matrix")
+
+
+def sylvester_positive_definite(matrix: RationalMatrix) -> bool:
+    """Sylvester's criterion with exact Bareiss determinants.
+
+    ``M ≻ 0`` iff all ``n`` leading principal minors are strictly
+    positive ([Horn & Johnson, Thm. 7.2.5]). Evaluates minors smallest
+    first so an early negative/zero minor short-circuits.
+    """
+    _require_symmetric(matrix)
+    for k in range(1, matrix.rows + 1):
+        if bareiss_determinant(matrix.leading_principal(k)) <= 0:
+            return False
+    return True
+
+
+def gauss_positive_definite(matrix: RationalMatrix) -> bool:
+    """SymPy-flavoured check: elimination pivots all strictly positive.
+
+    For symmetric ``M``, elimination without row exchange either hits a
+    zero pivot (then ``M`` is not definite) or produces pivots whose
+    signs match the ``D`` of the LDL^T factorization.
+    """
+    _require_symmetric(matrix)
+    pivots = gauss_pivots(matrix)
+    if pivots is None:
+        return False
+    return all(p > 0 for p in pivots)
+
+
+def ldl_positive_definite(matrix: RationalMatrix) -> bool:
+    """LDL^T-based check (ablation variant of the Gauss check)."""
+    _require_symmetric(matrix)
+    factorization = ldl(matrix)
+    if factorization is None:
+        return False
+    _lower, diag = factorization
+    return all(d > 0 for d in diag)
+
+
+def is_positive_semidefinite(matrix: RationalMatrix) -> bool:
+    """Exact PSD test: every *principal* minor is nonnegative.
+
+    Implemented as the standard perturbation argument instead of the
+    exponential all-principal-minors test: ``M ⪰ 0`` iff
+    ``M + t I ≻ 0`` for all ``t > 0``; with exact arithmetic it is
+    enough to check that the characteristic polynomial of ``-M`` has no
+    positive root, which we decide via the sign structure of
+    ``det(M + t I)`` — equivalently, all coefficients of
+    ``det(tI + M)`` (a polynomial in ``t`` with rational coefficients)
+    are nonnegative iff no eigenvalue of ``M`` is negative *given M is
+    symmetric* (all eigenvalues real, so the polynomial has only real
+    roots and Descartes' rule is exact).
+    """
+    _require_symmetric(matrix)
+    from .poly import charpoly
+
+    # charpoly(-M) = det(sI + M); symmetric M has only real eigenvalues,
+    # which appear as roots s = -lambda. M >= 0 iff no root is positive,
+    # and for a polynomial with all-real roots that holds iff the
+    # coefficients (monic, highest first) have no sign change.
+    coeffs = charpoly(matrix.scale(-1))
+    return all(c >= 0 for c in coeffs)
+
+
+def is_negative_definite(matrix: RationalMatrix) -> bool:
+    return sylvester_positive_definite(matrix.scale(-1))
+
+
+def is_negative_semidefinite(matrix: RationalMatrix) -> bool:
+    return is_positive_semidefinite(matrix.scale(-1))
+
+
+def definiteness_counterexample(matrix: RationalMatrix) -> list[Fraction] | None:
+    """A vector ``v`` with ``v^T M v <= 0`` when ``M`` is not PD, else ``None``.
+
+    The witness is extracted from the failing stage of the LDL^T
+    factorization; it turns every "invalid Lyapunov candidate" verdict
+    into a concrete refutation the caller can evaluate.
+    """
+    _require_symmetric(matrix)
+    n = matrix.rows
+    a = [row[:] for row in matrix.tolist()]
+    # Track the congruence transform: after k steps, current block equals
+    # E_k ... E_1 M E_1^T ... E_k^T restricted to trailing coordinates.
+    transform = [[Fraction(int(i == j)) for j in range(n)] for i in range(n)]
+    for k in range(n):
+        pivot = a[k][k]
+        if pivot <= 0:
+            # v = e_k pulled back through the accumulated transform:
+            # v^T M v equals the current pivot (or 0 when pivot == 0).
+            v = transform[k][:]
+            return v
+        for i in range(k + 1, n):
+            factor = a[i][k] / pivot
+            if factor != 0:
+                for j in range(n):
+                    transform[i][j] -= factor * transform[k][j]
+            for j in range(k, n):
+                a[i][j] -= factor * a[k][j]
+        for i in range(k + 1, n):  # restore symmetry of trailing block
+            for j in range(k + 1, n):
+                a[j][i] = a[i][j]
+    return None

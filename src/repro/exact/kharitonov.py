@@ -1,0 +1,120 @@
+"""Kharitonov's theorem: exact robust stability of interval polynomials.
+
+A whole family of characteristic polynomials with coefficients in
+intervals ``[lo_i, hi_i]`` is Hurwitz iff the *four* Kharitonov corner
+polynomials are. Combined with the exact Routh test from
+:mod:`repro.exact.poly`, this gives a *proof* of robust stability under
+coefficient uncertainty — the exact-arithmetic counterpart of the
+fault-injection margins in :mod:`repro.engine.faults` (which perturb
+matrix entries rather than characteristic coefficients).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .poly import is_hurwitz_polynomial
+from .rational import Number, to_fraction
+
+__all__ = [
+    "kharitonov_polynomials",
+    "interval_polynomial_is_hurwitz",
+    "stability_radius_coefficients",
+]
+
+
+def _normalize(
+    lower: Sequence[Number], upper: Sequence[Number]
+) -> tuple[list[Fraction], list[Fraction]]:
+    lo = [to_fraction(x) for x in lower]
+    hi = [to_fraction(x) for x in upper]
+    if len(lo) != len(hi):
+        raise ValueError("coefficient bound lists must have equal length")
+    if not lo:
+        raise ValueError("empty polynomial")
+    if any(a > b for a, b in zip(lo, hi)):
+        raise ValueError("lower bound exceeds upper bound")
+    return lo, hi
+
+
+def kharitonov_polynomials(
+    lower: Sequence[Number], upper: Sequence[Number]
+) -> list[list[Fraction]]:
+    """The four Kharitonov corner polynomials.
+
+    Coefficients are given highest degree first (matching
+    :func:`repro.exact.poly.is_hurwitz_polynomial`); the classical
+    corner patterns are defined lowest-degree-first, so the selection is
+    applied to the reversed lists and flipped back.
+    """
+    lo, hi = _normalize(lower, upper)
+    lo_asc = lo[::-1]
+    hi_asc = hi[::-1]
+    # The two classical square-wave sign patterns and their swaps:
+    # K1 = lo lo hi hi ..., K2 = hi hi lo lo ...,
+    # K3 = lo hi hi lo ..., K4 = hi lo lo hi ...
+    patterns = [
+        ("llhh", lambda k: lo_asc[k] if k % 4 in (0, 1) else hi_asc[k]),
+        ("hhll", lambda k: hi_asc[k] if k % 4 in (0, 1) else lo_asc[k]),
+        ("lhhl", lambda k: lo_asc[k] if k % 4 in (0, 3) else hi_asc[k]),
+        ("hllh", lambda k: hi_asc[k] if k % 4 in (0, 3) else lo_asc[k]),
+    ]
+    corners = []
+    for _name, select in patterns:
+        ascending = [select(k) for k in range(len(lo_asc))]
+        corners.append(ascending[::-1])
+    return corners
+
+
+def interval_polynomial_is_hurwitz(
+    lower: Sequence[Number], upper: Sequence[Number]
+) -> bool:
+    """Kharitonov's criterion, decided exactly.
+
+    Requires a sign-definite leading coefficient interval (the family
+    must not contain degree drops); the standard theorem also assumes
+    all-positive coefficient intervals for a Hurwitz family, which the
+    Routh test enforces implicitly.
+    """
+    lo, hi = _normalize(lower, upper)
+    if lo[0] <= 0 < hi[0] or (lo[0] < 0 <= hi[0]):
+        return False  # leading coefficient can vanish: degree drop
+    return all(
+        is_hurwitz_polynomial(corner)
+        for corner in kharitonov_polynomials(lo, hi)
+    )
+
+
+def stability_radius_coefficients(
+    coefficients: Sequence[Number],
+    tolerance: Fraction = Fraction(1, 1000),
+    max_radius: Fraction = Fraction(10),
+) -> Fraction:
+    """Largest symmetric relative coefficient perturbation kept Hurwitz.
+
+    Finds (by exact bisection, up to ``tolerance``) the largest ``rho``
+    such that every polynomial with coefficients in
+    ``[(1-rho) c_i, (1+rho) c_i]`` is Hurwitz. Returns 0 when the
+    nominal polynomial itself is not Hurwitz.
+    """
+    c = [to_fraction(x) for x in coefficients]
+    if not is_hurwitz_polynomial(c):
+        return Fraction(0)
+
+    def robust_at(rho: Fraction) -> bool:
+        lower = [x - abs(x) * rho for x in c]
+        upper = [x + abs(x) * rho for x in c]
+        return interval_polynomial_is_hurwitz(lower, upper)
+
+    low = Fraction(0)
+    high = max_radius
+    if robust_at(high):
+        return high
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if robust_at(mid):
+            low = mid
+        else:
+            high = mid
+    return low

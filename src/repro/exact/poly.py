@@ -1,0 +1,118 @@
+"""Exact characteristic polynomials and Routh--Hurwitz stability.
+
+The characteristic polynomial is computed with the Faddeev--LeVerrier
+recurrence (exact over the rationals), and Hurwitz stability of a matrix
+is decided with the Routh array, including the classic epsilon-free
+handling of zero first-column entries: a zero anywhere in the first
+column of the Routh array already refutes *strict* Hurwitz stability,
+which is the only question this library asks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .matrix import RationalMatrix
+from .rational import Number, to_fraction
+
+__all__ = [
+    "charpoly",
+    "poly_eval",
+    "routh_table",
+    "is_hurwitz_polynomial",
+    "is_hurwitz_matrix",
+]
+
+
+def charpoly(matrix: RationalMatrix) -> list[Fraction]:
+    """Coefficients of ``det(sI - M)``, highest degree first (monic).
+
+    Uses Faddeev--LeVerrier: ``c_0 = 1``, ``M_1 = M``,
+    ``c_k = -tr(M_k)/k``, ``M_{k+1} = M (M_k + c_k I)``.
+    """
+    if not matrix.is_square():
+        raise ValueError("charpoly of a non-square matrix")
+    n = matrix.rows
+    coeffs = [Fraction(1)]
+    mk = matrix
+    identity = RationalMatrix.identity(n)
+    for k in range(1, n + 1):
+        ck = -mk.trace() / k
+        coeffs.append(ck)
+        if k < n:
+            mk = matrix @ (mk + identity.scale(ck))
+    return coeffs
+
+
+def poly_eval(coeffs: Sequence[Number], x: Number) -> Fraction:
+    """Horner evaluation of a polynomial given highest-degree-first coefficients."""
+    x = to_fraction(x)
+    acc = Fraction(0)
+    for c in coeffs:
+        acc = acc * x + to_fraction(c)
+    return acc
+
+
+def routh_table(coeffs: Sequence[Number]) -> list[list[Fraction]]:
+    """Build the Routh array for a polynomial (highest degree first).
+
+    Raises :class:`ZeroDivisionError`-free: when a first-column zero
+    appears mid-table the construction stops early and the partial table
+    is returned — callers interpret a zero first-column entry as
+    "not strictly Hurwitz", which is sound (strict Hurwitz requires all
+    first-column entries nonzero and of equal sign).
+    """
+    c = [to_fraction(v) for v in coeffs]
+    if not c or c[0] == 0:
+        raise ValueError("leading coefficient must be nonzero")
+    degree = len(c) - 1
+    if degree == 0:
+        return [[c[0]]]
+    row0 = c[0::2]
+    row1 = c[1::2]
+    width = len(row0)
+    row1 += [Fraction(0)] * (width - len(row1))
+    table = [row0, row1]
+    for _ in range(degree - 1):
+        above = table[-2]
+        pivot_row = table[-1]
+        pivot = pivot_row[0]
+        if pivot == 0:
+            break
+        new_row = []
+        for j in range(width - 1):
+            a = above[j + 1] if j + 1 < len(above) else Fraction(0)
+            b = pivot_row[j + 1] if j + 1 < len(pivot_row) else Fraction(0)
+            new_row.append((pivot * a - above[0] * b) / pivot)
+        new_row.append(Fraction(0))
+        table.append(new_row)
+    return table
+
+
+def is_hurwitz_polynomial(coeffs: Sequence[Number]) -> bool:
+    """Decide whether all roots have strictly negative real part.
+
+    Normalizes the sign of the leading coefficient, then requires every
+    first-column Routh entry to be strictly positive. Exact, hence a
+    proof for rational coefficients.
+    """
+    c = [to_fraction(v) for v in coeffs]
+    if not c:
+        raise ValueError("empty polynomial")
+    if c[0] == 0:
+        raise ValueError("leading coefficient must be nonzero")
+    if c[0] < 0:
+        c = [-v for v in c]
+    # A strictly Hurwitz polynomial has all coefficients positive.
+    if any(v <= 0 for v in c):
+        return False
+    table = routh_table(c)
+    if len(table) < len(c):  # construction aborted on a zero pivot
+        return False
+    return all(row[0] > 0 for row in table)
+
+
+def is_hurwitz_matrix(matrix: RationalMatrix) -> bool:
+    """Exact proof that every eigenvalue of ``matrix`` has negative real part."""
+    return is_hurwitz_polynomial(charpoly(matrix))

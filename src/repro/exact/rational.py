@@ -1,0 +1,109 @@
+"""Exact rational scalar utilities.
+
+Everything in :mod:`repro.exact` computes over :class:`fractions.Fraction`
+so that validation verdicts are *proofs*, not floating-point estimates.
+This module holds the scalar-level helpers: conversions from ambient
+numeric types (including binary floats, converted exactly) and the
+significant-figure rounding used by the paper's validation pipeline
+(candidates synthesized numerically are rounded at the 10th -- and, for
+the robustness study, the 6th and 4th -- significant figure before the
+symbolic checks run).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Integral, Rational
+from typing import Union
+
+Number = Union[int, float, str, Fraction]
+
+__all__ = [
+    "Number",
+    "to_fraction",
+    "decimal_exponent",
+    "round_sigfigs",
+    "round_to_int",
+    "fraction_to_float",
+]
+
+
+def to_fraction(value: Number) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Binary floats are converted *exactly* (``Fraction(0.1)`` is the true
+    binary value of ``0.1``, not ``1/10``); pass a string such as
+    ``"0.1"`` to get the decimal reading. NumPy scalar types are accepted
+    through their ``item()`` coercion.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, Integral):
+        return Fraction(int(value))
+    if isinstance(value, Rational):
+        return Fraction(value.numerator, value.denominator)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value)
+    item = getattr(value, "item", None)
+    if item is not None:
+        return to_fraction(item())
+    raise TypeError(f"cannot convert {type(value).__name__} to Fraction")
+
+
+def _ndigits(n: int) -> int:
+    """Number of decimal digits of a positive integer."""
+    return len(str(n))
+
+
+def decimal_exponent(q: Fraction) -> int:
+    """Return ``e`` such that ``10**e <= |q| < 10**(e+1)``.
+
+    Exact integer computation (no logarithms); ``q`` must be nonzero.
+    """
+    if q == 0:
+        raise ValueError("decimal_exponent of zero is undefined")
+    q = abs(q)
+    e = _ndigits(q.numerator) - _ndigits(q.denominator)
+    # The digit-count estimate is off by at most one; fix up exactly.
+    while _pow10(e) > q:
+        e -= 1
+    while _pow10(e + 1) <= q:
+        e += 1
+    return e
+
+
+def _pow10(e: int) -> Fraction:
+    if e >= 0:
+        return Fraction(10**e)
+    return Fraction(1, 10**-e)
+
+
+def round_sigfigs(q: Fraction, sigfigs: int) -> Fraction:
+    """Round ``q`` to ``sigfigs`` significant decimal figures, exactly.
+
+    This mirrors the paper's Section VI-B: numerically synthesized
+    Lyapunov matrices are rounded at the 10th (and, to probe robustness,
+    6th and 4th) significant figure before exact validation. Rounding is
+    round-half-to-even, matching IEEE/Python semantics.
+    """
+    if sigfigs < 1:
+        raise ValueError("sigfigs must be >= 1")
+    if q == 0:
+        return Fraction(0)
+    e = decimal_exponent(q)
+    scale = _pow10(sigfigs - 1 - e)
+    scaled = q * scale
+    # Fraction has exact round-half-even through round().
+    return Fraction(round(scaled)) / scale
+
+
+def round_to_int(q: Number) -> int:
+    """Round to the nearest integer (half-to-even), exactly."""
+    return round(to_fraction(q))
+
+
+def fraction_to_float(q: Fraction) -> float:
+    """Nearest binary double to ``q`` (the only lossy direction)."""
+    return q.numerator / q.denominator

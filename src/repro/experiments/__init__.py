@@ -1,0 +1,47 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Run from the command line::
+
+    python -m repro.experiments table1   [--quick]
+    python -m repro.experiments figure3  [--quick]
+    python -m repro.experiments piecewise [--quick]
+    python -m repro.experiments table2   [--quick]
+    python -m repro.experiments all      [--quick]
+"""
+
+from .figure3 import DEFAULT_SIZE_CAPS, render_figure3, run_figure3
+from .piecewise import render_piecewise, run_piecewise
+from .records import (
+    Figure3Record,
+    MethodKey,
+    PiecewiseRecord,
+    Table1Record,
+    Table2Record,
+    dump_records,
+    method_rows,
+    render_grid,
+)
+from .table1 import render_sweep, render_table1, rounding_sweep, run_table1
+from .table2 import render_table2, run_table2
+
+__all__ = [
+    "MethodKey",
+    "method_rows",
+    "render_grid",
+    "dump_records",
+    "Table1Record",
+    "Figure3Record",
+    "Table2Record",
+    "PiecewiseRecord",
+    "run_table1",
+    "render_table1",
+    "rounding_sweep",
+    "render_sweep",
+    "run_figure3",
+    "render_figure3",
+    "DEFAULT_SIZE_CAPS",
+    "run_piecewise",
+    "render_piecewise",
+    "run_table2",
+    "render_table2",
+]

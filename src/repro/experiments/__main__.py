@@ -1,0 +1,112 @@
+"""Command-line entry point for the experiment drivers.
+
+``--quick`` restricts every experiment to the small benchmarks so the
+whole sweep finishes in a few minutes; the full configuration mirrors
+the paper's grid (and takes correspondingly longer, dominated by the
+``eq-smt`` deadline and the ICP validators). ``--record DIR`` saves
+each experiment's rendered output as ``<experiment>_full.txt`` (or
+``_quick``), the files EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .figure3 import render_figure3, run_figure3
+from .piecewise import render_piecewise, run_piecewise
+from .records import dump_records
+from .table1 import render_sweep, render_table1, rounding_sweep, run_table1
+from .table2 import render_table2, run_table2
+
+
+def _table1(args) -> str:
+    sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
+    deadline = 5.0 if args.quick else args.eq_smt_deadline
+    records, candidates = run_table1(
+        sizes=sizes, eq_smt_deadline=deadline, keep_candidates=True
+    )
+    text = render_table1(records)
+    sweep = rounding_sweep(candidates)
+    text += "\n\n" + render_sweep(sweep)
+    if args.json:
+        dump_records(records, args.json)
+    return text
+
+
+def _figure3(args) -> str:
+    sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
+    records = run_figure3(sizes=sizes)
+    if args.json:
+        dump_records(records, args.json)
+    return render_figure3(records)
+
+
+def _piecewise(args) -> str:
+    names = ("size3",) if args.quick else ("size3", "size5")
+    iterations = 6_000 if args.quick else 20_000
+    records = run_piecewise(case_names=names, max_iterations=iterations)
+    if args.json:
+        dump_records(records, args.json)
+    return render_piecewise(records)
+
+
+def _table2(args) -> str:
+    names = ("size3", "size5") if args.quick else ("size15", "size18")
+    records = run_table2(case_names=names)
+    if args.json:
+        dump_records(records, args.json)
+    return render_table2(records)
+
+
+COMMANDS = {
+    "table1": _table1,
+    "figure3": _figure3,
+    "piecewise": _piecewise,
+    "table2": _table2,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", choices=[*COMMANDS, "all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small-benchmark configuration (minutes instead of hours)",
+    )
+    parser.add_argument(
+        "--eq-smt-deadline", type=float, default=60.0,
+        help="wall-clock budget (s) for the exact eq-smt method",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="also dump raw records to this JSON file",
+    )
+    parser.add_argument(
+        "--record", type=str, default=None, metavar="DIR",
+        help="save rendered output to DIR/<experiment>_full|_quick.txt",
+    )
+    args = parser.parse_args(argv)
+    chosen = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in chosen:
+        if args.experiment == "all":
+            print(f"\n=== {name} ===")
+        text = COMMANDS[name](args)
+        print(text)
+        if args.record:
+            suffix = "quick" if args.quick else "full"
+            path = pathlib.Path(args.record) / f"{name}_{suffix}.txt"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

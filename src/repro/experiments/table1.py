@@ -1,0 +1,193 @@
+"""Table I driver: synthesis and validation of single-mode Lyapunov
+functions across the benchmark ladder.
+
+For every benchmark case (size x integer-variant), each operating mode,
+and each synthesis method/backend: synthesize a candidate (``eq-smt``
+under a wall-clock deadline, like the paper's 2 h limit scaled down),
+round it at 10 significant figures, and validate both Lyapunov
+conditions exactly. The renderer aggregates per size, matching the
+paper's layout: average synthesis time and "validated / total" ratio.
+
+``rounding_sweep`` reruns validation of the same candidates at 6 and 4
+significant figures, reproducing the paper's robustness observation
+(more aggressive rounding breaks validity; ``LMIalpha`` candidates
+survive best).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..engine import MODES, benchmark_suite
+from ..lyapunov import SynthesisTimeout, synthesize
+from ..sdp import LmiInfeasibleError
+from ..validate import validate_candidate
+from .records import MethodKey, Table1Record, method_rows, render_grid
+
+__all__ = ["run_table1", "render_table1", "rounding_sweep", "render_sweep"]
+
+
+def run_table1(
+    sizes: tuple[int, ...] = (3, 5, 10, 15, 18),
+    integer_sizes: tuple[int, ...] = (3, 5, 10),
+    methods: list[MethodKey] | None = None,
+    eq_smt_deadline: float = 60.0,
+    validator: str = "sylvester",
+    sigfigs: int = 10,
+    keep_candidates: bool = False,
+) -> tuple[list[Table1Record], dict]:
+    """Run the full synthesis+validation grid.
+
+    Returns the records plus (when ``keep_candidates``) a dict mapping
+    ``(case, mode, method, backend)`` to the synthesized candidate —
+    reused by the Figure 3 driver so the timing comparison runs on the
+    *same* candidates.
+    """
+    if methods is None:
+        methods = method_rows()
+    records: list[Table1Record] = []
+    candidates: dict = {}
+    for case in benchmark_suite(sizes=sizes, integer_sizes=integer_sizes):
+        for mode in MODES:
+            a = case.mode_matrix(mode)
+            for key in methods:
+                record, candidate = _run_one(
+                    case, mode, a, key, eq_smt_deadline, validator, sigfigs
+                )
+                records.append(record)
+                if keep_candidates and candidate is not None:
+                    candidates[
+                        (case.name, mode, key.method, key.backend)
+                    ] = candidate
+    return records, candidates
+
+
+def _run_one(case, mode, a, key, eq_smt_deadline, validator, sigfigs):
+    try:
+        candidate = synthesize(
+            key.method,
+            a,
+            backend=key.backend or "ipm",
+            deadline=eq_smt_deadline if key.method == "eq-smt" else None,
+        )
+    except SynthesisTimeout:
+        return Table1Record(
+            case=case.name, size=case.size, mode=mode,
+            method=key.method, backend=key.backend,
+            synth_time=None, synth_status="timeout",
+            valid=None, validation_time=None, sigfigs=sigfigs,
+        ), None
+    except (LmiInfeasibleError, ValueError):
+        return Table1Record(
+            case=case.name, size=case.size, mode=mode,
+            method=key.method, backend=key.backend,
+            synth_time=None, synth_status="infeasible",
+            valid=None, validation_time=None, sigfigs=sigfigs,
+        ), None
+    report = validate_candidate(
+        candidate, a, sigfigs=sigfigs, validator=validator
+    )
+    return Table1Record(
+        case=case.name, size=case.size, mode=mode,
+        method=key.method, backend=key.backend,
+        synth_time=candidate.synthesis_time, synth_status="ok",
+        valid=report.valid, validation_time=report.total_time,
+        sigfigs=sigfigs,
+    ), candidate
+
+
+def render_table1(records: list[Table1Record]) -> str:
+    """Aggregate to the paper's layout: per (method, backend) row and per
+    size column, 'avg synth time' and 'valid ratio'."""
+    sizes = sorted({r.size for r in records})
+    grouped: dict = defaultdict(list)
+    for r in records:
+        grouped[(r.method, r.backend, r.size)].append(r)
+    headers = ["method", "solver"]
+    for size in sizes:
+        headers += [f"s{size} synth", f"s{size} valid"]
+    rows = []
+    seen_keys = []
+    for r in records:
+        key = (r.method, r.backend)
+        if key not in seen_keys:
+            seen_keys.append(key)
+    for method, backend in seen_keys:
+        row = [method, backend or "-"]
+        for size in sizes:
+            bucket = grouped.get((method, backend, size), [])
+            ok_times = [
+                b.synth_time for b in bucket if b.synth_time is not None
+            ]
+            if not bucket:
+                row += ["-", "-"]
+                continue
+            if not ok_times:
+                row += ["TO", f"0/{len(bucket)}"]
+                continue
+            avg = sum(ok_times) / len(ok_times)
+            n_valid = sum(1 for b in bucket if b.valid is True)
+            row += [f"{avg:.3g}", f"{n_valid}/{len(bucket)}"]
+        rows.append(row)
+    return render_grid(
+        headers, rows,
+        title="Table I — synthesis and validation of Lyapunov functions",
+    )
+
+
+def rounding_sweep(
+    candidates: dict,
+    sigfig_levels: tuple[int, ...] = (10, 6, 4),
+    validator: str = "sylvester",
+) -> list[Table1Record]:
+    """Re-validate stored candidates at several rounding precisions."""
+    from ..engine import case_by_name
+
+    records = []
+    for (case_name, mode, method, backend), candidate in candidates.items():
+        case = case_by_name(case_name)
+        a = case.mode_matrix(mode)
+        for sigfigs in sigfig_levels:
+            report = validate_candidate(
+                candidate, a, sigfigs=sigfigs, validator=validator
+            )
+            records.append(
+                Table1Record(
+                    case=case_name, size=case.size, mode=mode,
+                    method=method, backend=backend,
+                    synth_time=candidate.synthesis_time, synth_status="ok",
+                    valid=report.valid, validation_time=report.total_time,
+                    sigfigs=sigfigs,
+                )
+            )
+    return records
+
+
+def render_sweep(records: list[Table1Record]) -> str:
+    """Invalid-candidate counts per rounding level and per method."""
+    levels = sorted({r.sigfigs for r in records}, reverse=True)
+    methods = []
+    for r in records:
+        key = (r.method, r.backend)
+        if key not in methods:
+            methods.append(key)
+    headers = ["method", "solver"] + [f"invalid@{lvl}sf" for lvl in levels]
+    rows = []
+    for method, backend in methods:
+        row = [method, backend or "-"]
+        for level in levels:
+            bucket = [
+                r for r in records
+                if (r.method, r.backend, r.sigfigs) == (method, backend, level)
+            ]
+            row.append(str(sum(1 for r in bucket if r.valid is False)))
+        rows.append(row)
+    totals = ["TOTAL", ""]
+    for level in levels:
+        totals.append(
+            str(sum(1 for r in records if r.sigfigs == level and r.valid is False))
+        )
+    rows.append(totals)
+    return render_grid(
+        headers, rows, title="Rounding-precision sweep (invalid candidates)"
+    )

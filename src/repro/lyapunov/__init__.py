@@ -1,0 +1,43 @@
+"""Lyapunov-function synthesis: the paper's six single-mode methods and
+the piecewise-quadratic switched-system attempt."""
+
+from .common import CommonLyapunovResult, synthesize_common
+from .discrete import (
+    solve_stein_numeric,
+    synthesize_discrete,
+    validate_discrete_candidate,
+)
+from .equation import (
+    SynthesisTimeout,
+    solve_lyapunov_exact,
+    solve_lyapunov_numeric,
+)
+from .modal import modal_lyapunov
+from .piecewise import ENCODINGS, PiecewiseCandidate, synthesize_piecewise
+from .quadratic import LyapunovCandidate
+from .settling import SettlingBound, settling_bound, verify_decay_rate_exact
+from .synthesis import DEFAULT_NU, LMI_METHODS, METHODS, default_alpha, synthesize
+
+__all__ = [
+    "LyapunovCandidate",
+    "METHODS",
+    "LMI_METHODS",
+    "DEFAULT_NU",
+    "default_alpha",
+    "synthesize",
+    "SynthesisTimeout",
+    "solve_lyapunov_exact",
+    "solve_lyapunov_numeric",
+    "modal_lyapunov",
+    "PiecewiseCandidate",
+    "synthesize_piecewise",
+    "ENCODINGS",
+    "CommonLyapunovResult",
+    "synthesize_common",
+    "solve_stein_numeric",
+    "synthesize_discrete",
+    "validate_discrete_candidate",
+    "SettlingBound",
+    "settling_bound",
+    "verify_decay_rate_exact",
+]

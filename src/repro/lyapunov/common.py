@@ -1,0 +1,99 @@
+"""Common quadratic Lyapunov functions for switched systems.
+
+The paper's related-work section lists *common Lyapunov functions*
+[Peleties & DeCarlo 1991] as the simplest certificate for a switched
+system: a single ``P ≻ 0`` with ``A_i^T P + P A_i ≺ 0`` for every mode
+simultaneously implies global asymptotic stability under arbitrary
+switching. This module implements the joint LMI via the deep-cut
+ellipsoid method, with the same tri-state outcome the rest of the
+library uses: a certified solution, a *proof* of infeasibility within
+the search radius, or budget exhaustion.
+
+Note: for the case-study *closed-loop* homogeneous parts, a common
+quadratic Lyapunov function concerns stability under arbitrary
+switching — a strictly stronger property than the state-dependent
+switching law needs, and a useful ablation target.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..sdp import LmiBlock, solve_lmi_ellipsoid, svec_basis
+
+__all__ = ["CommonLyapunovResult", "synthesize_common"]
+
+
+@dataclass
+class CommonLyapunovResult:
+    """Outcome of the joint-LMI search (candidate + flags)."""
+    p: np.ndarray
+    feasible: bool
+    proved_infeasible: bool
+    iterations: int
+    worst_violation: float
+    synthesis_time: float = 0.0
+    info: dict = field(default_factory=dict)
+
+
+def synthesize_common(
+    a_list: Sequence[np.ndarray],
+    margin: float = 1e-3,
+    radius_cap: float = 100.0,
+    max_iterations: int = 60_000,
+    initial_radius: float = 50.0,
+) -> CommonLyapunovResult:
+    """Search for one ``P`` certifying every mode at once.
+
+    The feasibility system is normalized with ``P ⪯ radius_cap I`` and
+    ``P ⪰ margin I``, so "infeasible" means: no common quadratic
+    certificate with conditioning better than ``radius_cap / margin``.
+    """
+    matrices = [np.asarray(a, dtype=float) for a in a_list]
+    if not matrices:
+        raise ValueError("need at least one mode matrix")
+    n = matrices[0].shape[0]
+    for a in matrices:
+        if a.shape != (n, n):
+            raise ValueError("mode matrices must share a dimension")
+    start = time.perf_counter()
+    basis = svec_basis(n)
+    dim = len(basis)
+    blocks = [
+        LmiBlock(
+            -margin * np.eye(n), [e.copy() for e in basis], name="P>=mI"
+        ),
+        LmiBlock(
+            radius_cap * np.eye(n), [-e.copy() for e in basis], name="P<=RI"
+        ),
+    ]
+    for index, a in enumerate(matrices):
+        blocks.append(
+            LmiBlock(
+                -margin * np.eye(n),
+                [-(a.T @ e + e @ a) for e in basis],
+                name=f"decay{index}",
+            )
+        )
+    result = solve_lmi_ellipsoid(
+        blocks,
+        dimension=dim,
+        initial_radius=initial_radius,
+        max_iterations=max_iterations,
+        raise_on_infeasible=False,
+    )
+    p = sum(x * e for x, e in zip(result.x, basis))
+    p = 0.5 * (p + p.T)
+    return CommonLyapunovResult(
+        p=p,
+        feasible=result.feasible,
+        proved_infeasible=result.proved_infeasible,
+        iterations=result.iterations,
+        worst_violation=result.worst_violation,
+        synthesis_time=time.perf_counter() - start,
+        info={"modes": len(matrices), "dimension": dim},
+    )

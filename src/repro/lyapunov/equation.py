@@ -1,0 +1,123 @@
+"""Lyapunov-equation synthesis: the ``eq-smt`` and ``eq-num`` methods.
+
+Both solve ``A^T P + P A + Q = 0`` with ``Q = I`` (paper Eq. 7):
+
+* ``eq-num`` calls the numeric Bartels--Stewart solver (the paper used
+  python-control; we use SciPy's identical algorithm) — fast at every
+  size.
+* ``eq-smt`` solves the equation *symbolically over the rationals* by
+  exact Gaussian elimination on the ``n(n+1)/2``-dimensional linear
+  system in the entries of ``P``. Exact arithmetic on float-derived
+  rationals blows up combinatorially, which is precisely the scaling
+  failure Table I documents (timeouts at sizes 15 and 18); the solver
+  therefore takes a deadline and raises :class:`SynthesisTimeout`.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+import numpy as np
+from scipy import linalg
+
+from ..exact import RationalMatrix
+
+__all__ = ["SynthesisTimeout", "solve_lyapunov_numeric", "solve_lyapunov_exact"]
+
+
+class SynthesisTimeout(RuntimeError):
+    """Raised when a synthesis method exceeds its time budget."""
+
+
+def solve_lyapunov_numeric(
+    a: np.ndarray, q: np.ndarray | None = None
+) -> np.ndarray:
+    """``eq-num``: Bartels--Stewart solve of ``A^T P + P A = -Q``."""
+    a = np.asarray(a, dtype=float)
+    if q is None:
+        q = np.eye(a.shape[0])
+    p = linalg.solve_continuous_lyapunov(a.T, -q)
+    return 0.5 * (p + p.T)
+
+
+def _sym_index(n: int) -> list[tuple[int, int]]:
+    return [(i, j) for i in range(n) for j in range(i, n)]
+
+
+def solve_lyapunov_exact(
+    a: RationalMatrix,
+    q: RationalMatrix | None = None,
+    deadline: float | None = None,
+) -> RationalMatrix:
+    """``eq-smt``: exact rational solve of ``A^T P + P A = -Q``.
+
+    ``deadline`` is a wall-clock budget in seconds; exceeding it raises
+    :class:`SynthesisTimeout` (checked between elimination pivots, so
+    overruns are bounded by one pivot's work).
+    """
+    if not a.is_square():
+        raise ValueError("A must be square")
+    n = a.rows
+    if q is None:
+        q = RationalMatrix.identity(n)
+    start = time.perf_counter()
+
+    def check_deadline() -> None:
+        if deadline is not None and time.perf_counter() - start > deadline:
+            raise SynthesisTimeout(
+                f"exact Lyapunov solve exceeded {deadline:.1f}s at size {n}"
+            )
+
+    index = _sym_index(n)
+    position = {pair: k for k, pair in enumerate(index)}
+    m = len(index)
+    # Assemble the linear system M p = rhs over the symmetric entries:
+    # row (i, j):  sum_k A[k,i] P[k,j] + sum_k P[i,k] A[k,j] = -Q[i,j].
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    for i, j in index:
+        check_deadline()
+        row = [Fraction(0)] * m
+        for k in range(n):
+            coeff = a[k, i]
+            if coeff:
+                row[position[(min(k, j), max(k, j))]] += coeff
+            coeff = a[k, j]
+            if coeff:
+                row[position[(min(i, k), max(i, k))]] += coeff
+        rows.append(row)
+        rhs.append(-q[i, j])
+
+    # Exact Gaussian elimination with partial pivoting and a deadline
+    # check per pivot column.
+    aug = [row + [value] for row, value in zip(rows, rhs)]
+    for col in range(m):
+        check_deadline()
+        pivot_row = max(range(col, m), key=lambda r: abs(aug[r][col]))
+        if aug[pivot_row][col] == 0:
+            raise ValueError("singular Lyapunov operator (A and -A share eigenvalues)")
+        if pivot_row != col:
+            aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        for r in range(col + 1, m):
+            factor = aug[r][col] / pivot
+            if factor == 0:
+                continue
+            row_r = aug[r]
+            row_c = aug[col]
+            for c in range(col, m + 1):
+                row_r[c] -= factor * row_c[c]
+    solution = [Fraction(0)] * m
+    for row_index in range(m - 1, -1, -1):
+        check_deadline()
+        acc = aug[row_index][m]
+        for c in range(row_index + 1, m):
+            acc -= aug[row_index][c] * solution[c]
+        solution[row_index] = acc / aug[row_index][row_index]
+
+    entries = [[Fraction(0)] * n for _ in range(n)]
+    for (i, j), value in zip(index, solution):
+        entries[i][j] = value
+        entries[j][i] = value
+    return RationalMatrix(entries)

@@ -1,0 +1,34 @@
+"""Modal-matrix Lyapunov synthesis (paper Section III-E, Eq. 8).
+
+Diagonalize ``A = M D M^{-1}`` and set ``P = (M^{-1})^dagger M^{-1}``.
+Then ``A^T P + P A = (M^{-1})^dagger (D + conj(D)) M^{-1}``, which is
+negative definite exactly when every eigenvalue has negative real part.
+For a real ``A`` the complex eigenvector pairs are conjugate, so ``P``
+is real up to floating-point noise; the imaginary residue is dropped
+and the result symmetrized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["modal_lyapunov"]
+
+
+def modal_lyapunov(a: np.ndarray, rcond: float = 1e-10) -> np.ndarray:
+    """``P = (M^{-1})^dagger M^{-1}`` from any modal matrix ``M`` of ``A``."""
+    a = np.asarray(a, dtype=float)
+    eigenvalues, m = np.linalg.eig(a)
+    if eigenvalues.real.max() >= 0:
+        raise ValueError("A is not Hurwitz: the modal P would not decrease")
+    # Guard against defective (non-diagonalizable) A: the eigenvector
+    # matrix becomes numerically singular.
+    if np.linalg.cond(m) > 1.0 / rcond:
+        raise ValueError("A is too close to defective for the modal method")
+    m_inv = np.linalg.inv(m)
+    p = m_inv.conj().T @ m_inv
+    imaginary = float(np.abs(p.imag).max())
+    if imaginary > 1e-6 * max(1.0, float(np.abs(p.real).max())):
+        raise ValueError(f"modal P has non-negligible imaginary part {imaginary:g}")
+    p = p.real
+    return 0.5 * (p + p.T)

@@ -1,0 +1,75 @@
+"""Quadratic Lyapunov candidates.
+
+A candidate is the numeric output of a synthesis method — a symmetric
+matrix ``P`` defining ``V(w) = (w - w_eq)^T P (w - w_eq)`` — together
+with provenance (method, backend, synthesis time). Candidates are
+*not* trusted: they are rounded at a chosen number of significant
+figures and handed to the exact validators in :mod:`repro.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exact import RationalMatrix
+
+__all__ = ["LyapunovCandidate"]
+
+
+@dataclass
+class LyapunovCandidate:
+    """A numerically synthesized quadratic Lyapunov function."""
+
+    p: np.ndarray
+    method: str
+    backend: str | None = None
+    synthesis_time: float = 0.0
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        p = np.asarray(self.p, dtype=float)
+        if p.ndim != 2 or p.shape[0] != p.shape[1]:
+            raise ValueError("P must be square")
+        self.p = 0.5 * (p + p.T)
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of ``P``."""
+        return self.p.shape[0]
+
+    @property
+    def label(self) -> str:
+        """``method/backend`` display label."""
+        return f"{self.method}/{self.backend}" if self.backend else self.method
+
+    # ------------------------------------------------------------------
+    def value(self, w: np.ndarray, center: np.ndarray | None = None) -> float:
+        """``V(w) = (w - center)^T P (w - center)`` (numeric)."""
+        w = np.asarray(w, dtype=float)
+        if center is not None:
+            w = w - np.asarray(center, dtype=float)
+        return float(w @ self.p @ w)
+
+    def lie_matrix(self, a: np.ndarray) -> np.ndarray:
+        """The derivative quadratic form ``A^T P + P A``."""
+        a = np.asarray(a, dtype=float)
+        return a.T @ self.p + self.p @ a
+
+    def eigenvalue_range(self) -> tuple[float, float]:
+        """``(min, max)`` eigenvalues of ``P`` (numeric)."""
+        eigenvalues = np.linalg.eigvalsh(self.p)
+        return float(eigenvalues[0]), float(eigenvalues[-1])
+
+    # ------------------------------------------------------------------
+    def exact_p(self, sigfigs: int | None = 10) -> RationalMatrix:
+        """The candidate rounded at ``sigfigs`` significant figures.
+
+        ``None`` keeps the exact binary values of the floats (no
+        rounding at all) — useful for ablations.
+        """
+        exact = RationalMatrix.from_numpy(self.p).symmetrize()
+        if sigfigs is None:
+            return exact
+        return exact.round_sigfigs(sigfigs).symmetrize()

@@ -1,0 +1,117 @@
+"""The synthesis-method registry (paper Table I rows).
+
+Six methods produce quadratic Lyapunov candidates for ``w' = A w``:
+
+==============  ====================================================
+``eq-smt``      exact rational solve of the Lyapunov equation
+``eq-num``      Bartels--Stewart numeric solve
+``modal``       ``P = (M^{-1})^dagger M^{-1}`` from a modal matrix
+``lmi``         LMI feasibility (Eq. 9), backend-selectable
+``lmi-alpha``   LMI with decay rate ``alpha`` (Eq. 10)
+``lmi-alpha+``  LMI-alpha plus the eigenvalue floor ``P - nu I > 0``
+==============  ====================================================
+
+The LMI rows accept ``backend`` in ``{"ipm", "shift", "proj"}`` — the
+stand-ins for the paper's CVXOPT / Mosek / SMCP columns (``ipm`` is
+the size-sensitive expensive one, ``shift`` the fastest, ``proj`` the
+boundary-hugging one whose candidates are fragile under rounding).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..exact import RationalMatrix, fraction_to_float
+from ..sdp import solve_lyapunov_lmi
+from .equation import SynthesisTimeout, solve_lyapunov_exact, solve_lyapunov_numeric
+from .modal import modal_lyapunov
+from .quadratic import LyapunovCandidate
+
+__all__ = [
+    "METHODS",
+    "LMI_METHODS",
+    "DEFAULT_NU",
+    "default_alpha",
+    "synthesize",
+    "SynthesisTimeout",
+]
+
+METHODS = ("eq-smt", "eq-num", "modal", "lmi", "lmi-alpha", "lmi-alpha+")
+LMI_METHODS = ("lmi", "lmi-alpha", "lmi-alpha+")
+
+#: The fixed eigenvalue floor of the ``lmi-alpha+`` method.
+DEFAULT_NU = 1.0
+
+
+def default_alpha(a: np.ndarray) -> float:
+    """The fixed decay-rate parameter used for ``lmi-alpha(+)``.
+
+    Half of the system's true decay rate ``-2 max Re(eig A)`` — always
+    feasible, yet a nontrivial exponential-stability certificate.
+    """
+    abscissa = float(np.linalg.eigvals(np.asarray(a, dtype=float)).real.max())
+    if abscissa >= 0:
+        raise ValueError("A is not Hurwitz")
+    return -abscissa
+
+
+def synthesize(
+    method: str,
+    a: np.ndarray,
+    backend: str = "ipm",
+    alpha: float | None = None,
+    nu: float | None = None,
+    deadline: float | None = None,
+    exact_a: RationalMatrix | None = None,
+) -> LyapunovCandidate:
+    """Run one synthesis method and time it.
+
+    ``exact_a`` feeds ``eq-smt`` (defaults to the exact rationalization
+    of ``a``). Raises :class:`SynthesisTimeout` when ``eq-smt`` blows
+    its ``deadline``, and ``LmiInfeasibleError``/``ValueError`` when the
+    method cannot produce a candidate.
+    """
+    a = np.asarray(a, dtype=float)
+    start = time.perf_counter()
+    info: dict = {}
+    backend_used: str | None = None
+    if method == "eq-smt":
+        exact = exact_a if exact_a is not None else RationalMatrix.from_numpy(a)
+        p_exact = solve_lyapunov_exact(exact, deadline=deadline)
+        p = np.array(
+            [[fraction_to_float(x) for x in row] for row in p_exact.tolist()]
+        )
+        info["exact"] = p_exact
+    elif method == "eq-num":
+        p = solve_lyapunov_numeric(a)
+    elif method == "modal":
+        p = modal_lyapunov(a)
+    elif method in LMI_METHODS:
+        if method == "lmi":
+            alpha_used, nu_used = 0.0, None
+        elif method == "lmi-alpha":
+            alpha_used = default_alpha(a) if alpha is None else alpha
+            nu_used = None
+        else:
+            alpha_used = default_alpha(a) if alpha is None else alpha
+            nu_used = DEFAULT_NU if nu is None else nu
+        solution = solve_lyapunov_lmi(
+            a, alpha=alpha_used, nu=nu_used, backend=backend
+        )
+        p = solution.p
+        backend_used = backend
+        info.update(solution.info)
+        info["alpha"] = alpha_used
+        info["nu"] = nu_used
+    else:
+        raise KeyError(f"unknown synthesis method {method!r}; known: {METHODS}")
+    elapsed = time.perf_counter() - start
+    return LyapunovCandidate(
+        p=p,
+        method=method,
+        backend=backend_used,
+        synthesis_time=elapsed,
+        info=info,
+    )

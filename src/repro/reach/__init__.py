@@ -1,0 +1,7 @@
+"""Zonotope flowpipe reachability (an independent check of the robust
+regions, in the spirit of the related-work flowpipe methods)."""
+
+from .flowpipe import Flowpipe, compute_flowpipe, verify_invariance
+from .zonotope import Zonotope
+
+__all__ = ["Zonotope", "Flowpipe", "compute_flowpipe", "verify_invariance"]

@@ -1,0 +1,163 @@
+"""Flowpipe computation for affine systems (related-work tie-in).
+
+The paper's related work discusses flowpipe/invariant methods (Sogokon
+et al.) and its conclusion targets the ARCH-COMP linear-dynamics
+category; this module implements the standard zonotope flowpipe
+algorithm for ``w' = A w + b``:
+
+1. one exact step matrix ``e^{A dt}`` (dense expm);
+2. a first-step bloating term covering the inter-sample behaviour,
+   using the classic norm bound
+   ``||e^{A s} w0 - (w0 + s A w0)|| <= (e^{||A|| s} - 1 - ||A|| s) ||w0||``;
+3. zonotope propagation with Girard order reduction.
+
+The result is a sequence of zonotopes whose union over-approximates the
+exact reach set on ``[0, T]``. ``verify_invariance`` uses it as an
+*independent* check of the robust-region claims: a flowpipe started
+inside the region must never poke through the switching surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import expm
+
+from ..systems import AffineSystem, HalfSpace
+from .zonotope import Zonotope
+
+__all__ = ["Flowpipe", "compute_flowpipe", "verify_invariance"]
+
+
+@dataclass
+class Flowpipe:
+    """A time-indexed sequence of zonotopes covering the reach set."""
+
+    segments: list  # Zonotope per step, covering [k dt, (k+1) dt]
+    dt: float
+    horizon: float
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def max_support(self, direction: np.ndarray) -> float:
+        """Largest support value over the whole pipe."""
+        return max(segment.support(direction) for segment in self.segments)
+
+    def interval_hull(self) -> tuple[np.ndarray, np.ndarray]:
+        """Componentwise bounds over the whole pipe."""
+        lowers, uppers = zip(*(s.interval_hull() for s in self.segments))
+        return np.min(lowers, axis=0), np.max(uppers, axis=0)
+
+
+def _bloat_radius(
+    a_aug_norm: float, dt: float, augmented_state_bound: float
+) -> float:
+    """Inter-sample error bound for the first segment.
+
+    In augmented coordinates ``v = (w, 1)`` the affine flow is linear,
+    ``v' = A_aug v``, and the deviation of ``e^{A_aug s} v0`` from the
+    straight segment between its endpoints is bounded by the classic
+    second-order exponential remainder
+
+        (e^{||A_aug|| dt} - 1 - ||A_aug|| dt) * ||v0||.
+    """
+    z = a_aug_norm * dt
+    remainder = np.expm1(z) - z  # e^z - 1 - z >= 0
+    return float(remainder * augmented_state_bound)
+
+
+def compute_flowpipe(
+    system: AffineSystem,
+    initial: Zonotope,
+    horizon: float,
+    dt: float | None = None,
+    max_generators: int = 60,
+) -> Flowpipe:
+    """Zonotope flowpipe of ``w' = A w + b`` from ``initial`` over
+    ``[0, horizon]``.
+
+    ``dt=None`` picks a step adapted to the system's stiffness,
+    ``0.05 / ||A_aug||`` — the bloating term grows like
+    ``e^{||A_aug|| dt}``, so oversized steps make the first segment
+    useless for stiff dynamics (the engine loops have poles near -80).
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if dt is not None and dt <= 0:
+        raise ValueError("dt must be positive")
+    if initial.dimension != system.dimension:
+        raise ValueError("initial-set dimension mismatch")
+    a = system.a
+    b = system.b
+    n = system.dimension
+    if dt is None:
+        stiffness = np.zeros((n + 1, n + 1))
+        stiffness[:n, :n] = a
+        stiffness[:n, n] = b
+        norm = float(np.linalg.norm(stiffness, 2))
+        dt = min(horizon / 4.0, 0.05 / max(norm, 1e-9))
+    steps = int(np.ceil(horizon / dt))
+    phi = expm(a * dt)
+    # Constant-input contribution over one step: x+ = phi x + psi b with
+    # psi = int_0^dt e^{A s} ds, via the block-exponential trick.
+    block = np.zeros((n + 1, n + 1))
+    block[:n, :n] = a
+    block[:n, n] = b
+    exp_block = expm(block * dt)
+    step_offset = exp_block[:n, n]
+
+    # First segment: convex hull of X0 and phi X0 + offset, bloated.
+    a_aug = np.zeros((n + 1, n + 1))
+    a_aug[:n, :n] = a
+    a_aug[:n, n] = b
+    a_aug_norm = float(np.linalg.norm(a_aug, 2))
+    lower, upper = initial.interval_hull()
+    state_norm_sq = float(np.sum(np.maximum(np.abs(lower), np.abs(upper)) ** 2))
+    augmented_state_bound = float(np.sqrt(state_norm_sq + 1.0))
+    bloat = _bloat_radius(a_aug_norm, dt, augmented_state_bound)
+    mapped = initial.linear_map(phi).translate(step_offset)
+    # Hull of Z0 and mapped, as a zonotope over-approximation:
+    # center midpoint, generators = both sets' generators + the
+    # center-difference direction.
+    hull_center = 0.5 * (initial.center + mapped.center)
+    hull_generators = np.hstack(
+        [
+            initial.generators * 0.5,
+            mapped.generators * 0.5,
+            (0.5 * (mapped.center - initial.center)).reshape(-1, 1),
+        ]
+    )
+    first = Zonotope(hull_center, hull_generators).minkowski_sum(
+        Zonotope.ball_inf(np.zeros(n), bloat)
+    )
+    segments = [first.reduce_order(max_generators)]
+    current = first
+    for _ in range(1, steps):
+        current = (
+            current.linear_map(phi).translate(step_offset)
+        ).reduce_order(max_generators)
+        segments.append(current)
+    return Flowpipe(segments=segments, dt=dt, horizon=steps * dt)
+
+
+def verify_invariance(
+    system: AffineSystem,
+    initial: Zonotope,
+    halfspace: HalfSpace,
+    horizon: float,
+    dt: float | None = None,
+) -> bool:
+    """Flowpipe check that trajectories never leave ``halfspace``.
+
+    Returns ``True`` when the entire flowpipe stays in the region
+    (support of ``-g`` never exceeds the offset) — an independent
+    confirmation of the robust-region verdicts. ``False`` only means
+    the *over-approximation* pokes out (inconclusive, not a refutation).
+    """
+    pipe = compute_flowpipe(system, initial, horizon, dt=dt)
+    g = halfspace.normal_float()
+    offset = float(halfspace.offset)
+    # region: g.w + offset >= 0 <=> max of (-g).w <= offset.
+    return pipe.max_support(-g) <= offset

@@ -1,0 +1,159 @@
+"""Zonotopes: the set representation of the reachability engine.
+
+A zonotope is an affine image of a unit hypercube,
+
+    Z = { c + G b : b in [-1, 1]^m },
+
+closed under exactly the operations flowpipe computation needs — linear
+maps and Minkowski sums — both exact and cheap (matrix products and
+concatenation). Interval hulls and support functions give the outer
+bounds used for guard checks and containment tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Zonotope"]
+
+
+@dataclass(frozen=True)
+class Zonotope:
+    """A zonotope ``{center + generators @ b : ||b||_inf <= 1}``."""
+
+    center: np.ndarray
+    generators: np.ndarray  # n x m (m generators as columns)
+
+    def __post_init__(self):
+        center = np.asarray(self.center, dtype=float).reshape(-1)
+        generators = np.asarray(self.generators, dtype=float)
+        if generators.ndim == 1:
+            generators = generators.reshape(-1, 1)
+        if generators.shape[0] != center.shape[0]:
+            raise ValueError("generator/center dimension mismatch")
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "generators", generators)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_box(cls, lower: np.ndarray, upper: np.ndarray) -> "Zonotope":
+        """The axis-aligned box ``[lower, upper]`` as a zonotope."""
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        if np.any(lower > upper):
+            raise ValueError("empty box")
+        center = 0.5 * (lower + upper)
+        radii = 0.5 * (upper - lower)
+        return cls(center, np.diag(radii))
+
+    @classmethod
+    def point(cls, center: np.ndarray) -> "Zonotope":
+        """A degenerate zonotope (no generators)."""
+        center = np.asarray(center, dtype=float).reshape(-1)
+        return cls(center, np.zeros((center.shape[0], 0)))
+
+    @classmethod
+    def ball_inf(cls, center: np.ndarray, radius: float) -> "Zonotope":
+        """The infinity-norm ball of the given radius."""
+        center = np.asarray(center, dtype=float).reshape(-1)
+        return cls(center, radius * np.eye(center.shape[0]))
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension ``n``."""
+        return self.center.shape[0]
+
+    @property
+    def n_generators(self) -> int:
+        """Number of generators ``m``."""
+        return self.generators.shape[1]
+
+    # ------------------------------------------------------------------
+    def linear_map(self, matrix: np.ndarray) -> "Zonotope":
+        """Image under ``matrix`` (exact for zonotopes)."""
+        matrix = np.asarray(matrix, dtype=float)
+        return Zonotope(matrix @ self.center, matrix @ self.generators)
+
+    def translate(self, offset: np.ndarray) -> "Zonotope":
+        """Shift the center by ``offset``."""
+        return Zonotope(self.center + np.asarray(offset, dtype=float), self.generators)
+
+    def minkowski_sum(self, other: "Zonotope") -> "Zonotope":
+        """Minkowski sum (generator concatenation)."""
+        if other.dimension != self.dimension:
+            raise ValueError("dimension mismatch")
+        return Zonotope(
+            self.center + other.center,
+            np.hstack([self.generators, other.generators]),
+        )
+
+    def scale(self, factor: float) -> "Zonotope":
+        """Uniform scaling about the origin."""
+        return Zonotope(factor * self.center, factor * self.generators)
+
+    # ------------------------------------------------------------------
+    def support(self, direction: np.ndarray) -> float:
+        """``max_{z in Z} direction . z`` (the support function)."""
+        direction = np.asarray(direction, dtype=float)
+        return float(
+            direction @ self.center
+            + np.abs(direction @ self.generators).sum()
+        )
+
+    def interval_hull(self) -> tuple[np.ndarray, np.ndarray]:
+        """Componentwise ``(lower, upper)`` bounds."""
+        radii = np.abs(self.generators).sum(axis=1)
+        return self.center - radii, self.center + radii
+
+    def radius_inf(self) -> float:
+        """Half-width of the interval hull (infinity norm)."""
+        return float(np.abs(self.generators).sum(axis=1).max())
+
+    def contains_point(self, point: np.ndarray, tol: float = 1e-9) -> bool:
+        """Membership via linear programming (scipy linprog).
+
+        Solves ``G b = point - c`` with ``||b||_inf <= 1``.
+        """
+        from scipy.optimize import linprog
+
+        point = np.asarray(point, dtype=float)
+        m = self.n_generators
+        if m == 0:
+            return bool(np.allclose(point, self.center, atol=tol))
+        result = linprog(
+            c=np.zeros(m),
+            A_eq=self.generators,
+            b_eq=point - self.center,
+            bounds=[(-1.0, 1.0)] * m,
+            method="highs",
+        )
+        return bool(result.status == 0)
+
+    def reduce_order(self, max_generators: int) -> "Zonotope":
+        """Girard order reduction: box the smallest generators.
+
+        Keeps the ``max_generators - n`` largest generators and replaces
+        the rest by their interval hull (n axis-aligned generators) —
+        a sound over-approximation.
+        """
+        n, m = self.dimension, self.n_generators
+        if m <= max_generators:
+            return self
+        keep = max(max_generators - n, 0)
+        norms = np.linalg.norm(self.generators, ord=1, axis=0) - np.linalg.norm(
+            self.generators, ord=np.inf, axis=0
+        )
+        order = np.argsort(norms)  # smallest "spread" first -> boxed
+        boxed = order[: m - keep]
+        kept = order[m - keep:]
+        box_radii = np.abs(self.generators[:, boxed]).sum(axis=1)
+        new_generators = np.hstack(
+            [self.generators[:, kept], np.diag(box_radii)]
+        )
+        return Zonotope(self.center, new_generators)
+
+    def __repr__(self) -> str:
+        return f"Zonotope(dim={self.dimension}, generators={self.n_generators})"

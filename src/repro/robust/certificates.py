@@ -1,0 +1,139 @@
+"""Machine-checkable stability/robustness certificates.
+
+A :class:`StabilityCertificate` bundles everything needed to *recheck* a
+verified claim from scratch — the mode matrix, the rational Lyapunov
+matrix, and (optionally) the robust level with its KKT minimizer — in a
+JSON-serializable form where every number is an exact rational string.
+``verify`` replays all the exact checks; round-tripping through JSON
+changes nothing because no floats are involved.
+
+This is the artefact a certification workflow would archive: the
+verdict can be re-established years later without rerunning any
+numerical synthesis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..exact import (
+    RationalMatrix,
+    is_negative_definite,
+    sylvester_positive_definite,
+    to_fraction,
+)
+from ..systems import AffineSystem, HalfSpace
+from .regions import synthesize_robust_level
+from .surface import surface_geometry
+
+__all__ = ["StabilityCertificate", "certify_mode"]
+
+
+def _matrix_to_strings(matrix: RationalMatrix) -> list[list[str]]:
+    return [[str(x) for x in row] for row in matrix.tolist()]
+
+
+def _matrix_from_strings(data: list[list[str]]) -> RationalMatrix:
+    return RationalMatrix([[Fraction(x) for x in row] for row in data])
+
+
+@dataclass
+class StabilityCertificate:
+    """An exact, self-contained certificate for one operating mode."""
+
+    a: RationalMatrix  # closed-loop mode matrix
+    p: RationalMatrix  # Lyapunov matrix (exact, already rounded)
+    b: list | None = None  # affine part (robust certificates only)
+    surface_normal: list | None = None
+    surface_offset: Fraction | None = None
+    k: Fraction | None = None  # robust level (None = no region claim)
+    provenance: dict | None = None
+
+    # ------------------------------------------------------------------
+    def verify(self) -> bool:
+        """Replay every exact check; raises ``AssertionError`` on the
+        first failure, returns ``True`` when the certificate holds."""
+        assert self.p.is_symmetric(), "P must be symmetric"
+        assert sylvester_positive_definite(self.p), "P is not PD"
+        lie = (self.a.T @ self.p + self.p @ self.a).symmetrize()
+        assert is_negative_definite(lie), "A^T P + P A is not ND"
+        if self.k is not None:
+            assert self.b is not None and self.surface_normal is not None
+            flow = AffineSystem(
+                self.a.to_numpy(), [float(x) for x in self.b]
+            )
+            halfspace = HalfSpace(
+                tuple(self.surface_normal), self.surface_offset
+            )
+            region = synthesize_robust_level(flow, halfspace, self.p)
+            assert region.bounded, "certificate claims a bounded level"
+            assert region.k >= self.k, (
+                f"claimed level {self.k} exceeds the exact optimum {region.k}"
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "format": "repro-stability-certificate-v1",
+            "a": _matrix_to_strings(self.a),
+            "p": _matrix_to_strings(self.p),
+            "provenance": self.provenance or {},
+        }
+        if self.k is not None:
+            payload["b"] = [str(x) for x in self.b]
+            payload["surface_normal"] = [str(x) for x in self.surface_normal]
+            payload["surface_offset"] = str(self.surface_offset)
+            payload["k"] = str(self.k)
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StabilityCertificate":
+        payload = json.loads(text)
+        if payload.get("format") != "repro-stability-certificate-v1":
+            raise ValueError("unknown certificate format")
+        kwargs = dict(
+            a=_matrix_from_strings(payload["a"]),
+            p=_matrix_from_strings(payload["p"]),
+            provenance=payload.get("provenance") or None,
+        )
+        if "k" in payload:
+            kwargs.update(
+                b=[Fraction(x) for x in payload["b"]],
+                surface_normal=[Fraction(x) for x in payload["surface_normal"]],
+                surface_offset=Fraction(payload["surface_offset"]),
+                k=Fraction(payload["k"]),
+            )
+        return cls(**kwargs)
+
+
+def certify_mode(
+    flow: AffineSystem,
+    halfspace: HalfSpace,
+    p_exact: RationalMatrix,
+    provenance: dict | None = None,
+    safety_factor: Fraction = Fraction(999, 1000),
+) -> StabilityCertificate:
+    """Build (and self-verify) a robust-region certificate for one mode.
+
+    The stored level is ``safety_factor`` times the exact optimum so the
+    certificate survives re-derivation on platforms with different
+    tie-breaking.
+    """
+    region = synthesize_robust_level(flow, halfspace, p_exact)
+    a_exact = RationalMatrix.from_numpy(flow.a)
+    b_exact = [to_fraction(x) for x in flow.b.tolist()]
+    geometry = surface_geometry(halfspace, flow)
+    certificate = StabilityCertificate(
+        a=a_exact,
+        p=p_exact,
+        b=b_exact,
+        surface_normal=list(geometry.normal),
+        surface_offset=geometry.offset,
+        k=None if region.k is None else region.k * safety_factor,
+        provenance=provenance,
+    )
+    certificate.verify()
+    return certificate

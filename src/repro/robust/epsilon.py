@@ -1,0 +1,103 @@
+"""Reference-perturbation radius ``epsilon`` (paper Section VI-C.2).
+
+Given a robust region ``W_i^r`` around the equilibrium for reference
+``r``, find ``epsilon_i > 0`` such that any perturbed reference
+``r' in B(r, epsilon_i)`` keeps the *old* equilibrium inside the *new*
+robust region — so the system converges to the new equilibrium without
+a mode switch. The paper's two cases:
+
+* flow constant on the surface (whole region robust):
+  ``epsilon = dist(w_eq, surface) / ||A^{-1} B||_2``;
+* general:
+  ``epsilon = min( alpha*mu / (mu*(beta+gamma) + beta), delta/beta )``
+
+with ``alpha`` a ball radius inside ``W_i``, ``beta = ||A^{-1}B||_2``
+(equilibrium sensitivity), ``gamma = ||g^T B|| / ||p||`` (surface-shift
+sensitivity), ``delta`` the equilibrium-to-surface distance and
+``mu = sqrt(mu_min/mu_max)`` the eccentricity of ``P``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .surface import SurfaceGeometry
+
+__all__ = ["EpsilonInputs", "epsilon_radius"]
+
+
+class EpsilonInputs:
+    """Numeric ingredients of the epsilon formula for one mode."""
+
+    def __init__(
+        self,
+        flow_a: np.ndarray,
+        b_cl: np.ndarray,
+        p: np.ndarray,
+        k: float,
+        w_eq: np.ndarray,
+        geometry: SurfaceGeometry,
+    ):
+        self.flow_a = np.asarray(flow_a, dtype=float)
+        self.b_cl = np.asarray(b_cl, dtype=float)
+        self.p = np.asarray(p, dtype=float)
+        self.k = float(k)
+        self.w_eq = np.asarray(w_eq, dtype=float)
+        self.geometry = geometry
+
+    @property
+    def beta(self) -> float:
+        """Equilibrium sensitivity ``||A^{-1} B||_2``."""
+        return float(
+            np.linalg.norm(np.linalg.solve(self.flow_a, self.b_cl), 2)
+        )
+
+    @property
+    def delta(self) -> float:
+        """Distance from the equilibrium to the switching surface."""
+        return self.geometry.distance_to_surface(self.w_eq)
+
+    @property
+    def gamma(self) -> float:
+        """``||g^T B|| / ||p||`` — surface-shift sensitivity."""
+        g = np.array([float(x) for x in self.geometry.normal])
+        p_tan = np.array([float(x) for x in self.geometry.tangential_gradient])
+        p_norm = float(np.linalg.norm(p_tan))
+        if p_norm == 0:
+            raise ValueError("gamma undefined when the field is constant on the surface")
+        return float(np.linalg.norm(g @ self.b_cl)) / p_norm
+
+    @property
+    def mu(self) -> float:
+        """``sqrt(mu_min / mu_max)`` of ``P``."""
+        eigenvalues = np.linalg.eigvalsh(self.p)
+        if eigenvalues[0] <= 0:
+            raise ValueError("P must be positive definite")
+        return math.sqrt(float(eigenvalues[0] / eigenvalues[-1]))
+
+    @property
+    def alpha(self) -> float:
+        """Radius of a ball around the equilibrium inside ``W_i``.
+
+        The largest ball inside the ellipsoid has radius
+        ``sqrt(k / mu_max)``; intersecting with the region half-space
+        also caps it by the surface distance.
+        """
+        mu_max = float(np.linalg.eigvalsh(self.p)[-1])
+        return min(math.sqrt(self.k / mu_max), self.delta)
+
+
+def epsilon_radius(inputs: EpsilonInputs) -> float:
+    """Evaluate the paper's epsilon formula for one mode."""
+    beta = inputs.beta
+    delta = inputs.delta
+    if inputs.geometry.constant_on_surface:
+        return delta / beta
+    alpha = inputs.alpha
+    gamma = inputs.gamma
+    mu = inputs.mu
+    bound_ball = alpha * mu / (mu * (beta + gamma) + beta)
+    bound_surface = delta / beta
+    return min(bound_ball, bound_surface)

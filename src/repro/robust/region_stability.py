@@ -1,0 +1,71 @@
+"""Region stability certificates (related work [Podelski & Wagner 2007]).
+
+*Region stability* asks that every trajectory eventually enters — and
+forever stays in — a designated region, without requiring convergence
+to a point. For a mode with a validated exponential Lyapunov function
+this follows constructively from two facts:
+
+* every sublevel set ``{V <= k}`` is forward invariant (``V' < 0`` on
+  its boundary), and
+* ``V' <= -alpha V`` forces ``V(t) <= V(0) e^{-alpha t}``, so the
+  passage from ``{V <= k_outer}`` into ``{V <= k_inner}`` happens by
+
+      T = ln(k_outer / k_inner) / alpha.
+
+:func:`certify_region_stability` packages that argument with the decay
+rate of a (validated) candidate; the certificate carries a concrete
+time bound the tests check against simulation. This is the "wider set
+of temporal properties" direction the paper's conclusion sketches,
+instantiated for the eventually-always operator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lyapunov.quadratic import LyapunovCandidate
+from ..lyapunov.settling import settling_bound
+
+__all__ = ["RegionStabilityCertificate", "certify_region_stability"]
+
+
+@dataclass(frozen=True)
+class RegionStabilityCertificate:
+    """``from {V <= k_outer}, within time_bound, always in {V <= k_inner}``."""
+
+    k_outer: float
+    k_inner: float
+    alpha: float
+    time_bound: float
+
+    def entered_by(self, v0: float, t: float) -> bool:
+        """Does the certified envelope place ``V(t)`` inside ``k_inner``?"""
+        return v0 * math.exp(-self.alpha * t) <= self.k_inner
+
+
+def certify_region_stability(
+    candidate: LyapunovCandidate,
+    a: np.ndarray,
+    k_outer: float,
+    k_inner: float,
+) -> RegionStabilityCertificate:
+    """Build the eventually-always certificate for one mode.
+
+    ``candidate`` must be a (validated) Lyapunov function for
+    ``w' = A (w - w_eq)``; its decay rate comes from the ``lmi-alpha``
+    annotation when present, else from the generalized eigenvalue pencil
+    (see :func:`repro.lyapunov.settling.settling_bound`).
+    """
+    if not 0 < k_inner < k_outer:
+        raise ValueError("need 0 < k_inner < k_outer")
+    bound = settling_bound(candidate, a)
+    time_bound = math.log(k_outer / k_inner) / bound.alpha
+    return RegionStabilityCertificate(
+        k_outer=float(k_outer),
+        k_inner=float(k_inner),
+        alpha=bound.alpha,
+        time_bound=time_bound,
+    )

@@ -1,0 +1,222 @@
+"""Robust-region synthesis (paper Section VI-C.1).
+
+For mode ``i`` with validated Lyapunov function
+``V_i(w) = (w - w_eq)^T P_i (w - w_eq)``, find the largest level ``k_i``
+such that every point of the switching surface with ``V_i <= k_i`` has
+the flow pointing back *into* the region (condition 24). Then the
+truncated ellipsoid ``W_i = {V_i <= k_i} ∩ R_i`` is invariant and all
+its points converge to ``w_eq`` without a mode switch.
+
+The level is the minimum of a positive-definite quadratic over
+
+    {w : g.w + o = 0  and  g.(A w + b) <= 0},
+
+a QP solved *exactly* over the rationals by KKT case analysis:
+
+* if the surface-constrained minimizer already has an outward-pointing
+  flow, it is the answer;
+* otherwise the minimum sits on the boundary of the outward set, i.e.
+  both constraints are active — a two-equality KKT solve.
+
+The paper computed candidate levels numerically and certified them
+(optimal up to 1e-3) with Mathematica; here the exact QP plays both
+roles, and :func:`check_level_robust_smt` reproduces the SMT-style
+certification query for cross-validation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..exact import RationalMatrix, solve, solve_vector, to_fraction
+from ..smt import Atom, Box, IcpSolver, IcpStatus, Relation, Var, affine_term, quadratic_form_term
+from ..systems import AffineSystem, HalfSpace
+from .surface import SurfaceGeometry, surface_geometry
+
+__all__ = ["RobustRegion", "synthesize_robust_level", "check_level_robust_smt"]
+
+
+@dataclass
+class RobustRegion:
+    """The synthesized level ``k`` and its provenance.
+
+    ``k is None`` encodes the paper's special case: the inward derivative
+    is constant along the surface and positive, so the whole region is
+    robust (no finite level truncates it).
+    """
+
+    k: Fraction | None
+    minimizer: list | None
+    case: str
+    geometry: SurfaceGeometry
+    time: float = 0.0
+
+    @property
+    def bounded(self) -> bool:
+        """False for the whole-region (infinite level) case."""
+        return self.k is not None
+
+    def k_float(self) -> float:
+        """The level as a float (``inf`` when unbounded)."""
+        return float("inf") if self.k is None else float(self.k)
+
+
+def _constrained_minimum(
+    p: RationalMatrix,
+    center: list,
+    rows: list[list],
+    rhs: list,
+) -> tuple[Fraction, list]:
+    """Exact minimum of ``(w-c)^T P (w-c)`` subject to ``rows @ w = rhs``."""
+    m = len(rows)
+    c_mat = RationalMatrix(rows)
+    # d_tilde = rhs - C c
+    d_tilde = [
+        to_fraction(rhs[i])
+        - sum((c_mat[i, j] * center[j] for j in range(c_mat.cols)), Fraction(0))
+        for i in range(m)
+    ]
+    # S = C P^{-1} C^T  (solve P X = C^T exactly).
+    x = solve(p, c_mat.T)  # n x m
+    s = c_mat @ x
+    lam = solve_vector(s, d_tilde)  # S lam = d_tilde
+    k = sum((d * l for d, l in zip(d_tilde, lam)), Fraction(0))
+    # minimizer: w = c + P^{-1} C^T lam
+    y = x.dot(lam)
+    w = [center[j] + y[j] for j in range(len(center))]
+    return k, w
+
+
+def synthesize_robust_level(
+    flow: AffineSystem,
+    halfspace: HalfSpace,
+    p_exact: RationalMatrix,
+    w_eq: list | None = None,
+) -> RobustRegion:
+    """Exact robust level for one mode (see module docstring)."""
+    start = time.perf_counter()
+    geometry = surface_geometry(halfspace, flow)
+    n = flow.dimension
+    if p_exact.shape != (n, n):
+        raise ValueError("P dimension mismatch")
+    if w_eq is None:
+        a_exact = RationalMatrix.from_numpy(flow.a)
+        b_exact = [to_fraction(x) for x in flow.b.tolist()]
+        w_eq = solve_vector(a_exact, [-x for x in b_exact])
+    else:
+        w_eq = [to_fraction(x) for x in w_eq]
+    if not halfspace.contains(w_eq):
+        raise ValueError("the equilibrium must lie inside the mode's region")
+
+    surface_row = list(geometry.normal)
+    surface_rhs = -geometry.offset
+
+    if geometry.constant_on_surface:
+        # The inward derivative is the same everywhere on the surface.
+        derivative = geometry.inward_derivative(
+            _any_surface_point(geometry)
+        )
+        if derivative > 0:
+            return RobustRegion(
+                k=None,
+                minimizer=None,
+                case="whole-region",
+                geometry=geometry,
+                time=time.perf_counter() - start,
+            )
+        # Entire surface is outward: minimize over the surface alone.
+        k, w = _constrained_minimum(
+            p_exact, w_eq, [surface_row], [surface_rhs]
+        )
+        return RobustRegion(
+            k=k,
+            minimizer=w,
+            case="surface-min",
+            geometry=geometry,
+            time=time.perf_counter() - start,
+        )
+
+    # Case A: minimize over the surface; accept if flow points outward
+    # (or is tangential) there.
+    k_a, w_a = _constrained_minimum(p_exact, w_eq, [surface_row], [surface_rhs])
+    if geometry.inward_derivative(w_a) <= 0:
+        return RobustRegion(
+            k=k_a,
+            minimizer=w_a,
+            case="surface-min",
+            geometry=geometry,
+            time=time.perf_counter() - start,
+        )
+    # Case B: both constraints active.
+    derivative_row = list(geometry.derivative_row)
+    derivative_rhs = -geometry.derivative_offset
+    k_b, w_b = _constrained_minimum(
+        p_exact,
+        w_eq,
+        [surface_row, derivative_row],
+        [surface_rhs, derivative_rhs],
+    )
+    return RobustRegion(
+        k=k_b,
+        minimizer=w_b,
+        case="kkt-corner",
+        geometry=geometry,
+        time=time.perf_counter() - start,
+    )
+
+
+def _any_surface_point(geometry: SurfaceGeometry) -> list:
+    """A rational point on ``g.w + o = 0``."""
+    g = list(geometry.normal)
+    pivot = next(i for i, x in enumerate(g) if x != 0)
+    point = [Fraction(0)] * len(g)
+    point[pivot] = -geometry.offset / g[pivot]
+    return point
+
+
+def check_level_robust_smt(
+    flow: AffineSystem,
+    halfspace: HalfSpace,
+    p_exact: RationalMatrix,
+    w_eq: list,
+    k: Fraction,
+    box_radius: float | None = None,
+    max_boxes: int = 50_000,
+) -> bool | None:
+    """SMT-style certification of condition (24) at level ``k``.
+
+    Searches for a counterexample: a surface point with ``V <= k`` whose
+    flow points strictly outward. ``True`` = certified (UNSAT over the
+    box), ``False`` = refuted with a witness, ``None`` = undecided.
+    """
+    geometry = surface_geometry(halfspace, flow)
+    n = flow.dimension
+    variables = [Var(f"w{i}") for i in range(n)]
+    w_eq = [to_fraction(x) for x in w_eq]
+    value = quadratic_form_term(p_exact, variables, center=w_eq)
+    on_surface = Atom(
+        affine_term(list(geometry.normal), variables, geometry.offset),
+        Relation.EQ,
+    )
+    sublevel = Atom(value - to_fraction(k), Relation.LE)
+    outward = Atom(
+        affine_term(
+            list(geometry.derivative_row), variables, geometry.derivative_offset
+        ),
+        Relation.LT,
+    )
+    if box_radius is None:
+        box_radius = max(
+            10.0, 4.0 * float(max(abs(float(x)) for x in w_eq)) + 4.0
+        )
+    box = Box.cube([v.name for v in variables], -box_radius, box_radius)
+    result = IcpSolver(max_boxes=max_boxes).check(
+        [on_surface, sublevel, outward], box
+    )
+    if result.status is IcpStatus.UNSAT:
+        return True
+    if result.status is IcpStatus.SAT:
+        return False
+    return None

@@ -1,0 +1,79 @@
+"""Switching-surface geometry for the robustness analysis (Section VI-C).
+
+For a mode with region ``{g . w + o >= 0}`` and affine flow
+``w' = A w + b``, the quantities that drive the robust-region synthesis:
+
+* the *inward derivative* ``g . (A w + b)`` on the surface — positive
+  means the flow re-enters the region;
+* the projection ``p`` of the derivative's gradient onto the surface —
+  ``p = 0`` is the paper's special case where the derivative is constant
+  along the surface and the robust region is the whole region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..exact import RationalMatrix, to_fraction
+from ..systems import AffineSystem, HalfSpace
+
+__all__ = ["SurfaceGeometry", "surface_geometry"]
+
+
+@dataclass(frozen=True)
+class SurfaceGeometry:
+    """Exact surface data for one mode."""
+
+    normal: tuple  # g (Fractions)
+    offset: Fraction  # o, surface = {g . w + o = 0}
+    derivative_row: tuple  # g^T A
+    derivative_offset: Fraction  # g . b
+    tangential_gradient: tuple  # projection of A^T g onto g-perp
+    constant_on_surface: bool
+
+    def inward_derivative(self, w) -> Fraction:
+        """``g . (A w + b)`` at an exact point."""
+        return (
+            sum(
+                (c * to_fraction(x) for c, x in zip(self.derivative_row, w)),
+                Fraction(0),
+            )
+            + self.derivative_offset
+        )
+
+    def distance_to_surface(self, w) -> float:
+        """Euclidean distance from a (float) point to the surface."""
+        g = np.array([float(x) for x in self.normal])
+        value = float(g @ np.asarray(w, dtype=float)) + float(self.offset)
+        return abs(value) / float(np.linalg.norm(g))
+
+
+def surface_geometry(halfspace: HalfSpace, flow: AffineSystem) -> SurfaceGeometry:
+    """Exact geometry of one mode's switching surface under its flow."""
+    a = RationalMatrix.from_numpy(flow.a)
+    b = [to_fraction(x) for x in flow.b.tolist()]
+    g = list(halfspace.normal)
+    # row = g^T A;   g . b
+    row = [
+        sum((g[k] * a[k, j] for k in range(a.rows)), Fraction(0))
+        for j in range(a.cols)
+    ]
+    g_dot_b = sum((c * x for c, x in zip(g, b)), Fraction(0))
+    # Tangential part of the gradient A^T g: subtract the g-component.
+    g_norm_sq = sum((x * x for x in g), Fraction(0))
+    projection_coeff = (
+        sum((r * x for r, x in zip(row, g)), Fraction(0)) / g_norm_sq
+    )
+    tangential = tuple(r - projection_coeff * x for r, x in zip(row, g))
+    constant = all(t == 0 for t in tangential)
+    return SurfaceGeometry(
+        normal=tuple(g),
+        offset=halfspace.offset,
+        derivative_row=tuple(row),
+        derivative_offset=g_dot_b,
+        tangential_gradient=tangential,
+        constant_on_surface=constant,
+    )

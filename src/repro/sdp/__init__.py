@@ -1,0 +1,40 @@
+"""Semidefinite programming / LMI solvers, written from scratch.
+
+The paper solves its LMI problems through PICOS with CVXOPT, Mosek and
+SMCP backends; none are available offline, so this package provides an
+equivalent front-end (:func:`solve_lyapunov_lmi`) over three hand-built
+backends with deliberately different cost/conditioning profiles, plus
+two generic block-LMI engines (certifying deep-cut ellipsoid, fast
+level-shift barrier) for the piecewise-quadratic S-procedure problems.
+"""
+
+from .barrier import BarrierResult, solve_lmi_barrier
+from .generic import EllipsoidResult, LmiBlock, solve_lmi_ellipsoid
+from .ipm import solve_ipm
+from .problems import LmiInfeasibleError, LyapunovLmiProblem
+from .proj import solve_proj
+from .shift import solve_shift
+from .solve import BACKENDS, LmiSolution, best_alpha, solve_lyapunov_lmi
+from .svec import basis_matrix, smat, svec, svec_basis, svec_dim
+
+__all__ = [
+    "LyapunovLmiProblem",
+    "LmiInfeasibleError",
+    "LmiSolution",
+    "solve_lyapunov_lmi",
+    "best_alpha",
+    "BACKENDS",
+    "solve_ipm",
+    "solve_shift",
+    "solve_proj",
+    "LmiBlock",
+    "EllipsoidResult",
+    "solve_lmi_ellipsoid",
+    "BarrierResult",
+    "solve_lmi_barrier",
+    "svec",
+    "smat",
+    "svec_dim",
+    "svec_basis",
+    "basis_matrix",
+]

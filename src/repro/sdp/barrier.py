@@ -1,0 +1,173 @@
+"""Log-barrier level-shift solver for general block LMIs.
+
+A second engine for the feasibility systems of
+:mod:`repro.sdp.generic` (piecewise S-procedure, common Lyapunov). It
+maximizes the joint margin ``t`` in
+
+    F_j(x) - t I ⪰ 0  for every block j,      |x_i| <= R,
+
+by *level-shift ascent*: for the current shift ``t`` (strictly below
+the incumbent margin, so the shifted blocks are strictly feasible),
+Newton-center
+
+    phi_t(x) = - sum_j logdet(F_j(x) - t I) - sum_i log(R^2 - x_i^2),
+
+then pull ``t`` up toward the achieved margin and re-center. Each
+centering is a proper, smooth convex problem (the box keeps it
+bounded), ``t`` is monotone nondecreasing, and the iteration converges
+linearly to the maximal margin within the box.
+
+Roles of the two generic engines (they solve the same systems):
+
+* ``solve_lmi_barrier`` — *fast candidate finder*; a negative final
+  margin is strong evidence of infeasibility but **not** a proof;
+* :func:`repro.sdp.generic.solve_lmi_ellipsoid` — slow but *certifying*
+  (its deep-cut collapse proves emptiness within the search radius).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .generic import LmiBlock
+
+__all__ = ["BarrierResult", "solve_lmi_barrier"]
+
+
+@dataclass
+class BarrierResult:
+    """Outcome of the level-shift barrier run."""
+
+    x: np.ndarray
+    t_star: float  # best joint margin min_j (lambda_min(F_j) - margin_j)
+    feasible: bool  # t_star > 0
+    iterations: int
+    history: list = field(default_factory=list)
+
+
+def _joint_margin(blocks: list[LmiBlock], x: np.ndarray) -> float:
+    return min(
+        float(np.linalg.eigvalsh(block.evaluate(x))[0]) - block.margin
+        for block in blocks
+    )
+
+
+def solve_lmi_barrier(
+    blocks: list[LmiBlock],
+    dimension: int,
+    target_margin: float = 0.0,
+    radius: float = 1e3,
+    pull: float = 0.5,
+    stall_tol: float = 1e-9,
+    max_outer: int = 200,
+    max_newton: int = 30,
+    newton_tol: float = 1e-10,
+    record_history: bool = False,
+) -> BarrierResult:
+    """Maximize the joint LMI margin within ``|x_i| <= radius``.
+
+    ``pull`` in (0, 1) sets how aggressively the shift chases the
+    incumbent margin each round; the loop stops at ``target_margin``,
+    on stall, or after ``max_outer`` rounds.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
+    if not 0 < pull < 1:
+        raise ValueError("pull must be in (0, 1)")
+    for block in blocks:
+        if len(block.coefficients) != dimension:
+            raise ValueError(
+                f"block {block.name!r} has {len(block.coefficients)} "
+                f"coefficients, expected {dimension}"
+            )
+    # Margin folded into F0 once: work with G_j(x) = F_j(x) - margin_j I.
+    shifted = [
+        LmiBlock(
+            block.f0 - block.margin * np.eye(block.f0.shape[0]),
+            block.coefficients,
+            name=block.name,
+        )
+        for block in blocks
+    ]
+
+    def centered_potential(x_vec: np.ndarray, t_val: float) -> float:
+        total = 0.0
+        for block in shifted:
+            g = block.evaluate(x_vec) - t_val * np.eye(block.f0.shape[0])
+            sign, logdet = np.linalg.slogdet(g)
+            if sign <= 0:
+                return np.inf
+            total -= logdet
+        box = radius * radius - x_vec * x_vec
+        if np.any(box <= 0):
+            return np.inf
+        return total - float(np.sum(np.log(box)))
+
+    x = np.zeros(dimension)
+    margin = _joint_margin(shifted, x)
+    t = margin - 1.0
+    best_margin = margin
+    best_x = x.copy()
+    history: list[float] = []
+    iterations = 0
+    for _outer in range(max_outer):
+        # --- Newton-center phi_t over x --------------------------------
+        for _ in range(max_newton):
+            iterations += 1
+            gradient = np.zeros(dimension)
+            hessian = np.zeros((dimension, dimension))
+            for block in shifted:
+                size = block.f0.shape[0]
+                g = block.evaluate(x) - t * np.eye(size)
+                g_inv = np.linalg.inv(g)
+                transformed = [g_inv @ c for c in block.coefficients]
+                gradient -= np.array([np.trace(m) for m in transformed])
+                flat = np.array([m.flatten() for m in transformed])
+                flat_t = np.array([m.T.flatten() for m in transformed])
+                hessian += flat @ flat_t.T
+            box = radius * radius - x * x
+            gradient += 2.0 * x / box
+            hessian += np.diag(2.0 / box + 4.0 * x * x / box**2)
+            hessian = 0.5 * (hessian + hessian.T)
+            try:
+                step = np.linalg.solve(
+                    hessian + 1e-13 * np.eye(dimension), -gradient
+                )
+            except np.linalg.LinAlgError:
+                step = np.linalg.lstsq(hessian, -gradient, rcond=None)[0]
+            if float(-(gradient @ step)) < newton_tol:
+                break
+            phi_now = centered_potential(x, t)
+            alpha = 1.0
+            accepted = False
+            for _ in range(60):
+                candidate = x + alpha * step
+                if centered_potential(candidate, t) < phi_now - 1e-14:
+                    x = candidate
+                    accepted = True
+                    break
+                alpha *= 0.5
+            if not accepted:
+                break
+        # --- pull the shift up toward the achieved margin ---------------
+        margin = _joint_margin(shifted, x)
+        if margin > best_margin:
+            best_margin = margin
+            best_x = x.copy()
+        if record_history:
+            history.append(margin)
+        if best_margin > target_margin:
+            break
+        new_t = margin - (1.0 - pull) * (margin - t)
+        if new_t - t < stall_tol:
+            break
+        t = new_t
+    return BarrierResult(
+        x=best_x,
+        t_star=best_margin,
+        feasible=best_margin > 0,
+        iterations=iterations,
+        history=history,
+    )

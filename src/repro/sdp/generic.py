@@ -1,0 +1,170 @@
+"""Generic LMI feasibility via the deep-cut ellipsoid method.
+
+Solves feasibility problems of the form
+
+    find x in R^d  such that  F_j(x) := F_j0 + sum_i x_i F_ji  ≻  margin_j I
+                              for every block j,
+
+which is the shape of the piecewise-quadratic S-procedure synthesis
+problems (Section VI-B.2 of the paper): the decision vector collects the
+entries of several ``P_i`` matrices and the S-procedure multipliers.
+
+The ellipsoid method needs only a separation oracle: at an infeasible
+``x``, the most-violated block has a unit eigenvector ``v`` with
+``v^T F_j(x) v < margin_j``, and ``g_i = -v^T F_ji v`` defines a valid
+deep cut. Convergence is geometric in volume — slow but extremely
+robust, matching the role this solver plays (candidates for a problem
+the paper reports as numerically delicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .problems import LmiInfeasibleError
+
+__all__ = ["LmiBlock", "EllipsoidResult", "solve_lmi_ellipsoid"]
+
+
+@dataclass
+class LmiBlock:
+    """One constraint ``F0 + sum_i x_i F[i] ⪰ margin I`` (symmetric data)."""
+
+    f0: np.ndarray
+    coefficients: list[np.ndarray]
+    margin: float = 0.0
+    name: str = ""
+
+    def __post_init__(self):
+        self.f0 = np.asarray(self.f0, dtype=float)
+        self.coefficients = [np.asarray(f, dtype=float) for f in self.coefficients]
+        size = self.f0.shape[0]
+        for f in self.coefficients:
+            if f.shape != (size, size):
+                raise ValueError("coefficient block size mismatch")
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """``F0 + sum_i x_i F_i`` at the point ``x``."""
+        matrix = self.f0.copy()
+        for value, coefficient in zip(x, self.coefficients):
+            if value:
+                matrix += value * coefficient
+        return matrix
+
+    def violation(self, x: np.ndarray) -> tuple[float, np.ndarray]:
+        """``(margin - lambda_min, eigenvector)`` — positive means violated."""
+        matrix = self.evaluate(x)
+        eigenvalues, vectors = np.linalg.eigh(matrix)
+        return self.margin - float(eigenvalues[0]), vectors[:, 0]
+
+
+@dataclass
+class EllipsoidResult:
+    """Outcome of an ellipsoid-method run (best iterate + flags)."""
+    x: np.ndarray
+    feasible: bool
+    iterations: int
+    worst_violation: float
+    history: list[float] = field(default_factory=list)
+    proved_infeasible: bool = False
+
+
+def solve_lmi_ellipsoid(
+    blocks: list[LmiBlock],
+    dimension: int,
+    initial_radius: float = 1e3,
+    max_iterations: int = 50_000,
+    record_history: bool = False,
+    raise_on_infeasible: bool = True,
+) -> EllipsoidResult:
+    """Run the deep-cut ellipsoid method until feasibility or collapse.
+
+    Raises :class:`LmiInfeasibleError` when the ellipsoid volume shrinks
+    below the point where any feasible set of nontrivial volume would
+    have been found.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
+    for block in blocks:
+        if len(block.coefficients) != dimension:
+            raise ValueError(
+                f"block {block.name!r} has {len(block.coefficients)} "
+                f"coefficients, expected {dimension}"
+            )
+    x = np.zeros(dimension)
+    shape = (initial_radius**2) * np.eye(dimension)  # ellipsoid matrix
+    history: list[float] = []
+    best_x = x.copy()
+    best_violation = np.inf
+    d = float(dimension)
+    for iteration in range(1, max_iterations + 1):
+        worst, gradient_vector, worst_block = _most_violated(blocks, x)
+        if record_history:
+            history.append(worst)
+        if worst < best_violation:
+            best_violation = worst
+            best_x = x.copy()
+        if worst <= 0.0:
+            return EllipsoidResult(x, True, iteration, worst, history)
+        # Deep cut: g^T (y - x) + violation <= 0 for all feasible y,
+        # where g_i = -v^T F_ji v.
+        g = np.array(
+            [
+                -gradient_vector @ coefficient @ gradient_vector
+                for coefficient in worst_block.coefficients
+            ]
+        )
+        g_norm_sq = float(g @ shape @ g)
+        if g_norm_sq <= 0 or not np.isfinite(g_norm_sq):
+            break
+        g_norm = np.sqrt(g_norm_sq)
+        # Depth of the cut (normalized); > 1 certifies an empty ellipsoid.
+        depth = worst / g_norm
+        if depth >= 1.0:
+            # The deep cut strips the entire ellipsoid: a proof that no
+            # feasible point exists within the initial radius.
+            if raise_on_infeasible:
+                raise LmiInfeasibleError(
+                    f"ellipsoid cut depth {depth:.3g} >= 1: LMI system "
+                    f"infeasible within radius {initial_radius:g}"
+                )
+            return EllipsoidResult(
+                best_x, False, iteration, best_violation, history,
+                proved_infeasible=True,
+            )
+        depth = max(depth, 0.0)
+        if dimension == 1:
+            # Degenerate update: interval bisection on the cut.
+            step = shape @ g / g_norm
+            x = x - 0.5 * (1 + depth) * step
+            shape = np.atleast_2d(shape * (1 - depth) ** 2 / 4.0)
+            if shape[0, 0] < 1e-24:
+                break
+            continue
+        tau = (1 + d * depth) / (d + 1)
+        delta = (d**2 / (d**2 - 1)) * (1 - depth**2)
+        sigma = 2 * (1 + d * depth) / ((d + 1) * (1 + depth))
+        step = shape @ g / g_norm
+        x = x - tau * step
+        shape = delta * (shape - sigma * np.outer(step, step))
+        shape = 0.5 * (shape + shape.T)
+        if np.trace(shape) < 1e-24:
+            break
+    return EllipsoidResult(best_x, False, max_iterations, best_violation, history)
+
+
+def _most_violated(
+    blocks: list[LmiBlock], x: np.ndarray
+) -> tuple[float, np.ndarray, LmiBlock]:
+    worst = -np.inf
+    worst_vector = None
+    worst_block = None
+    for block in blocks:
+        violation, vector = block.violation(x)
+        if violation > worst:
+            worst = violation
+            worst_vector = vector
+            worst_block = block
+    return worst, worst_vector, worst_block

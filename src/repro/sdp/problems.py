@@ -1,0 +1,105 @@
+"""The Lyapunov LMI problem family (paper Section III-E).
+
+Three problems are synthesized from the same data:
+
+* ``LMI``      (Eq. 9):  find ``P = P^T`` with ``P > 0`` and
+  ``A^T P + P A < 0``;
+* ``LMIalpha`` (Eq. 10): additionally ``A^T P + P A + alpha P < 0``,
+  yielding an exponential-stability certificate with rate ``alpha``;
+* ``LMIalpha+``: additionally ``P - nu I > 0``, pushing the solution's
+  eigenvalues up (better conditioned candidates).
+
+Strict inequalities are handled with explicit margins: the solvers look
+for ``P ⪰ (nu + margin) I`` and ``A^T P + P A + alpha P ⪯ -margin I``,
+which is how SDP solvers realize strict LMIs in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LyapunovLmiProblem", "LmiInfeasibleError"]
+
+
+class LmiInfeasibleError(RuntimeError):
+    """Raised by a backend that could not find a strictly feasible point."""
+
+
+@dataclass(frozen=True)
+class LyapunovLmiProblem:
+    """Data for ``P ⪰ nu_eff I``, ``A^T P + P A + alpha P ⪯ -margin I``.
+
+    Parameters
+    ----------
+    a:
+        The (Hurwitz) system matrix.
+    alpha:
+        Exponential decay-rate parameter (0 for the plain LMI).
+    nu:
+        Eigenvalue floor for ``P`` (``LMIalpha+``); ``None`` gives the
+        plain floor at ``margin``.
+    margin:
+        Strictness margin for both inequalities.
+    """
+
+    a: np.ndarray
+    alpha: float = 0.0
+    nu: float | None = None
+    margin: float = 1e-6
+    radius: float = field(default=1e6)
+
+    def __post_init__(self):
+        a = np.asarray(self.a, dtype=float)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError("A must be square")
+        if self.alpha < 0:
+            raise ValueError("alpha must be nonnegative")
+        if self.nu is not None and self.nu <= 0:
+            raise ValueError("nu must be positive")
+        if self.margin <= 0:
+            raise ValueError("margin must be positive")
+        object.__setattr__(self, "a", a)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Dimension of ``A`` (and of ``P``)."""
+        return self.a.shape[0]
+
+    @property
+    def nu_effective(self) -> float:
+        """The actual eigenvalue floor used for ``P``."""
+        return (self.nu if self.nu is not None else 0.0) + self.margin
+
+    @property
+    def shifted_a(self) -> np.ndarray:
+        """``A + (alpha/2) I`` — the LMIalpha constraint equals the plain
+        Lyapunov inequality for this shifted matrix."""
+        return self.a + 0.5 * self.alpha * np.eye(self.n)
+
+    # ------------------------------------------------------------------
+    def lyap_operator(self, p: np.ndarray) -> np.ndarray:
+        """``L(P) = A^T P + P A + alpha P``."""
+        return self.a.T @ p + p @ self.a + self.alpha * p
+
+    def constraint_margins(self, p: np.ndarray) -> tuple[float, float]:
+        """``(floor_margin, decay_margin)`` — both must be >= 0 at a
+        feasible point (computed against the strict margins)."""
+        eig_p = np.linalg.eigvalsh(p)
+        eig_l = np.linalg.eigvalsh(self.lyap_operator(p))
+        return (
+            float(eig_p.min() - self.nu_effective),
+            float(-eig_l.max() - self.margin),
+        )
+
+    def is_strictly_feasible(self, p: np.ndarray, slack: float = 0.0) -> bool:
+        """Both constraint margins nonnegative (up to ``slack``)."""
+        floor_margin, decay_margin = self.constraint_margins(p)
+        return floor_margin >= -slack and decay_margin >= -slack
+
+    def residual(self, p: np.ndarray) -> float:
+        """Worst constraint violation (0 when feasible)."""
+        floor_margin, decay_margin = self.constraint_margins(p)
+        return max(0.0, -floor_margin, -decay_margin)

@@ -1,0 +1,62 @@
+"""Direct spectral-shift backend for the Lyapunov LMI family.
+
+The LMIalpha constraint ``A^T P + P A + alpha P ⪯ -margin I`` is exactly
+the Lyapunov inequality for the shifted matrix ``A_s = A + (alpha/2) I``.
+When ``A_s`` is Hurwitz, ``P = lyap(A_s, Q)`` with any ``Q ≻ 0`` solves
+it with *equality* ``A_s^T P + P A_s = -Q``; scaling ``P`` by ``c >= 1``
+preserves the inequality while lifting the eigenvalue floor to satisfy
+``P ⪰ nu_eff I``. This is the fastest backend (one Bartels--Stewart
+solve plus one eigenvalue computation) and plays the role of the
+commercial-solver column (Mosek) in the paper's tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+from .problems import LmiInfeasibleError, LyapunovLmiProblem
+
+__all__ = ["solve_shift"]
+
+
+def solve_shift(
+    problem: LyapunovLmiProblem, q: np.ndarray | None = None
+) -> tuple[np.ndarray, dict]:
+    """Solve the LMI by a shifted Lyapunov equation plus scaling."""
+    a_s = problem.shifted_a
+    eigenvalues = np.linalg.eigvals(a_s)
+    spectral_abscissa = float(eigenvalues.real.max())
+    if spectral_abscissa >= 0:
+        raise LmiInfeasibleError(
+            f"A + (alpha/2)I is not Hurwitz (abscissa {spectral_abscissa:.3g}): "
+            "no P satisfies the decay constraint"
+        )
+    if q is None:
+        q = np.eye(problem.n)
+    # Bartels--Stewart: A_s^T P + P A_s = -Q.
+    p = linalg.solve_continuous_lyapunov(a_s.T, -q)
+    p = 0.5 * (p + p.T)
+    floor = float(np.linalg.eigvalsh(p).min())
+    if floor <= 0:
+        # Numerically possible for nearly-unstable A_s.
+        raise LmiInfeasibleError("Lyapunov solve returned a non-PD matrix")
+    # Scale so that lambda_min(P) >= nu_eff. Scaling by c >= 1 keeps
+    # A_s^T P + P A_s = -c Q <= -margin I provided Q >= I-ish; rescale Q
+    # margin too by working against lambda_min(Q).
+    q_floor = float(np.linalg.eigvalsh(q).min())
+    if q_floor <= 0:
+        raise ValueError("Q must be positive definite")
+    scale = max(
+        1.0,
+        problem.nu_effective / floor,
+        problem.margin / q_floor,
+    )
+    p = scale * p
+    info = {
+        "backend": "shift",
+        "iterations": 1,
+        "scale": scale,
+        "spectral_abscissa": spectral_abscissa,
+    }
+    return p, info

@@ -1,0 +1,82 @@
+"""Symmetric vectorization utilities for the SDP solvers.
+
+The interior-point backend works on the coordinate vector of a symmetric
+matrix in an *orthonormal* basis of the symmetric matrices (so that
+Frobenius inner products become dot products): diagonal units ``E_ii``
+and scaled off-diagonal units ``(E_ij + E_ji)/sqrt(2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "svec_dim",
+    "svec",
+    "smat",
+    "svec_basis",
+    "basis_matrix",
+]
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def svec_dim(n: int) -> int:
+    """Dimension of the space of symmetric ``n x n`` matrices."""
+    return n * (n + 1) // 2
+
+
+def svec(matrix: np.ndarray) -> np.ndarray:
+    """Orthonormal symmetric vectorization (upper triangle, row-major)."""
+    n = matrix.shape[0]
+    out = np.empty(svec_dim(n))
+    k = 0
+    for i in range(n):
+        out[k] = matrix[i, i]
+        k += 1
+        for j in range(i + 1, n):
+            out[k] = matrix[i, j] * _SQRT2
+            k += 1
+    return out
+
+
+def smat(vector: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`svec`."""
+    out = np.zeros((n, n))
+    k = 0
+    for i in range(n):
+        out[i, i] = vector[k]
+        k += 1
+        for j in range(i + 1, n):
+            value = vector[k] / _SQRT2
+            out[i, j] = value
+            out[j, i] = value
+            k += 1
+    return out
+
+
+def svec_basis(n: int) -> list[np.ndarray]:
+    """The orthonormal basis matrices ``E_k`` with ``svec(E_k) = e_k``."""
+    basis = []
+    for i in range(n):
+        unit = np.zeros((n, n))
+        unit[i, i] = 1.0
+        basis.append(unit)
+        for j in range(i + 1, n):
+            unit = np.zeros((n, n))
+            unit[i, j] = unit[j, i] = 1.0 / _SQRT2
+            basis.append(unit)
+    return basis
+
+
+def basis_matrix(n: int) -> np.ndarray:
+    """The ``svec_dim(n) x n^2`` matrix ``B`` with ``B @ vec(M) = svec(M)``.
+
+    ``vec`` is column-stacking (Fortran order), matching ``np.kron``
+    identities ``vec(A X B) = (B^T kron A) vec(X)``.
+    """
+    m = svec_dim(n)
+    out = np.zeros((m, n * n))
+    for k, basis in enumerate(svec_basis(n)):
+        out[k] = basis.flatten(order="F")
+    return out

@@ -1,0 +1,225 @@
+"""Lazy DPLL(T): a SAT-driven alternative to DNF expansion.
+
+The default :class:`~repro.smt.solver.SmtSolver` expands formulas to
+DNF, which is exponential in the worst case. This module implements the
+standard lazy SMT architecture instead:
+
+1. **Tseitin transformation** — linear-size CNF over fresh selector
+   variables for every connective;
+2. **DPLL** — unit propagation + branching + chronological backtracking
+   over the boolean abstraction;
+3. **theory consultation** — each boolean model's asserted atoms go to
+   the same theory layer (exact Fourier–Motzkin for affine conjunctions,
+   ICP for polynomial ones); theory-UNSAT models are excluded with a
+   blocking clause and the search resumes.
+
+Verdicts match the DNF engine (the property tests check exactly that);
+the difference is scaling on formulas with many shared subformulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from .icp import Box, IcpStatus
+from .solver import SmtResult, SmtSolver, SmtStatus
+from .terms import And, Atom, Formula, Not, Or, _Bool
+
+__all__ = ["tseitin_cnf", "DpllSolver"]
+
+Literal = int  # +-(variable index + 1)
+Clause = tuple[Literal, ...]
+
+
+@dataclass
+class _CnfBuilder:
+    clauses: list[Clause] = field(default_factory=list)
+    atom_of_variable: dict[int, Atom] = field(default_factory=dict)
+    variable_of_atom: dict[Atom, int] = field(default_factory=dict)
+    n_variables: int = 0
+
+    def fresh(self, atom: Atom | None = None) -> int:
+        """Allocate a new boolean variable (optionally bound to an atom)."""
+        self.n_variables += 1
+        index = self.n_variables
+        if atom is not None:
+            self.atom_of_variable[index] = atom
+            self.variable_of_atom[atom] = index
+        return index
+
+    def variable_for_atom(self, atom: Atom) -> int:
+        """The boolean variable of an atom (allocating on first use)."""
+        existing = self.variable_of_atom.get(atom)
+        if existing is not None:
+            return existing
+        return self.fresh(atom)
+
+    def add(self, *literals: Literal) -> None:
+        """Append a clause."""
+        self.clauses.append(tuple(literals))
+
+
+def _encode(formula: Formula, builder: _CnfBuilder) -> Literal:
+    """Return a literal equisatisfiably representing ``formula``."""
+    if isinstance(formula, _Bool):
+        selector = builder.fresh()
+        if formula.value:
+            builder.add(selector)
+        else:
+            builder.add(-selector)
+        return selector
+    if isinstance(formula, Atom):
+        return builder.variable_for_atom(formula)
+    if isinstance(formula, Not):
+        return -_encode(formula.arg, builder)
+    if isinstance(formula, (And, Or)):
+        child_literals = [_encode(arg, builder) for arg in formula.args]
+        selector = builder.fresh()
+        if isinstance(formula, And):
+            # selector -> child_i ; (and children) -> selector
+            for child in child_literals:
+                builder.add(-selector, child)
+            builder.add(selector, *(-c for c in child_literals))
+        else:
+            # selector -> (or children); child_i -> selector
+            builder.add(-selector, *child_literals)
+            for child in child_literals:
+                builder.add(-child, selector)
+        return selector
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def tseitin_cnf(formula: Formula) -> tuple[list[Clause], dict[int, Atom], int]:
+    """Linear-size equisatisfiable CNF.
+
+    Returns ``(clauses, atom map, variable count)``; the root selector
+    is asserted as a unit clause.
+    """
+    builder = _CnfBuilder()
+    root = _encode(formula, builder)
+    builder.add(root)
+    return builder.clauses, builder.atom_of_variable, builder.n_variables
+
+
+def _unit_propagate(
+    clauses: list[Clause], assignment: dict[int, bool]
+) -> bool:
+    """Propagate to fixpoint in-place; ``False`` on conflict."""
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned = None
+            satisfied = False
+            count = 0
+            for literal in clause:
+                variable = abs(literal)
+                value = assignment.get(variable)
+                if value is None:
+                    unassigned = literal
+                    count += 1
+                elif value == (literal > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if count == 0:
+                return False
+            if count == 1:
+                assignment[abs(unassigned)] = unassigned > 0
+                changed = True
+    return True
+
+
+@dataclass
+class DpllSolver:
+    """Lazy DPLL(T) with the library's theory layer underneath."""
+
+    delta: float = 1e-7
+    max_boxes: int = 200_000
+    max_theory_calls: int = 10_000
+
+    def check(self, formula: Formula, box: Box | None = None) -> SmtResult:
+        """Decide ``formula`` (box required for nonlinear atoms)."""
+        clauses, atoms, _n = tseitin_cnf(formula)
+        clauses = list(clauses)
+        theory = SmtSolver(delta=self.delta, max_boxes=self.max_boxes)
+        theory_calls = 0
+        saw_delta = False
+        saw_unknown = False
+        boxes_total = 0
+
+        def search(assignment: dict[int, bool]) -> SmtResult | None:
+            nonlocal theory_calls, saw_delta, saw_unknown, boxes_total
+            assignment = dict(assignment)
+            if not _unit_propagate(clauses, assignment):
+                return None
+            undecided = self._pick_variable(clauses, assignment)
+            if undecided is None:
+                # Full (relevant) boolean model: consult the theory.
+                theory_calls += 1
+                if theory_calls > self.max_theory_calls:
+                    saw_unknown = True
+                    return None
+                asserted = [
+                    atoms[v] if value else atoms[v].negate()
+                    for v, value in assignment.items()
+                    if v in atoms
+                ]
+                result = theory.check_conjunction(asserted, box)
+                boxes_total += result.boxes_explored
+                if result.status is SmtStatus.SAT:
+                    return result
+                if result.status is IcpStatus.DELTA_SAT:
+                    saw_delta = True
+                elif result.status is IcpStatus.UNKNOWN:
+                    saw_unknown = True
+                # Block this boolean model (only over theory atoms).
+                blocking = tuple(
+                    -v if value else v
+                    for v, value in assignment.items()
+                    if v in atoms
+                )
+                if blocking:
+                    clauses.append(blocking)
+                else:
+                    # No theory atoms at all: pure boolean SAT.
+                    return SmtResult(SmtStatus.SAT, {}, 1, boxes_total)
+                return None
+            for choice in (True, False):
+                assignment[undecided] = choice
+                outcome = search(assignment)
+                if outcome is not None:
+                    return outcome
+                del assignment[undecided]
+            return None
+
+        outcome = search({})
+        if outcome is not None:
+            return SmtResult(
+                SmtStatus.SAT, outcome.model, theory_calls, boxes_total
+            )
+        if saw_delta:
+            status = SmtStatus.DELTA_SAT
+        elif saw_unknown:
+            status = SmtStatus.UNKNOWN
+        else:
+            status = SmtStatus.UNSAT
+        return SmtResult(status, None, theory_calls, boxes_total)
+
+    @staticmethod
+    def _pick_variable(
+        clauses: list[Clause], assignment: dict[int, bool]
+    ) -> int | None:
+        """First unassigned variable appearing in a non-satisfied clause."""
+        for clause in clauses:
+            satisfied = any(
+                assignment.get(abs(l)) == (l > 0)
+                for l in clause
+                if abs(l) in assignment
+            )
+            if satisfied:
+                continue
+            for literal in clause:
+                if abs(literal) not in assignment:
+                    return abs(literal)
+        return None

@@ -1,0 +1,379 @@
+"""Interval-constraint-propagation (ICP) branch-and-prune solver.
+
+A delta-complete decision procedure for conjunctions of polynomial
+constraints over a bounding box, in the style of dReal: it either
+
+* proves the conjunction UNSAT over the box (a sound proof, thanks to
+  outward-rounded interval arithmetic),
+* finds a box over which every constraint *certainly* holds (SAT, with
+  an exact rational witness point), or
+* narrows down to a box smaller than ``delta`` that it can neither
+  verify nor refute (DELTA_SAT — "satisfiable up to delta"), or
+* exhausts its branching budget (UNKNOWN).
+
+The solver interleaves HC4-style linear contraction with bisection on
+the widest undecided variable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from .interval import Interval
+from .terms import Atom, Polynomial, Relation, poly_eval, polynomial_of
+
+__all__ = ["Box", "IcpStatus", "IcpResult", "IcpSolver", "eval_poly_interval"]
+
+
+class Box:
+    """A product of named intervals."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Mapping[str, Interval]):
+        self.intervals = dict(intervals)
+
+    @classmethod
+    def cube(cls, names: Sequence[str], lo: float, hi: float) -> "Box":
+        """The box ``[lo, hi]^n`` over the given variable names."""
+        return cls({name: Interval(lo, hi) for name in names})
+
+    def __getitem__(self, name: str) -> Interval:
+        return self.intervals[name]
+
+    def with_interval(self, name: str, interval: Interval) -> "Box":
+        """Copy of the box with one interval replaced."""
+        out = dict(self.intervals)
+        out[name] = interval
+        return Box(out)
+
+    def max_width(self) -> float:
+        """Width of the widest interval."""
+        return max(iv.width for iv in self.intervals.values())
+
+    def widest_variable(self) -> str:
+        """Name of the widest interval's variable."""
+        return max(self.intervals, key=lambda name: self.intervals[name].width)
+
+    def midpoint(self) -> dict[str, Fraction]:
+        """The exact rational center point of the box."""
+        return {
+            name: Fraction(iv.midpoint) for name, iv in self.intervals.items()
+        }
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}: {v!r}" for k, v in sorted(self.intervals.items()))
+        return f"Box({body})"
+
+
+def eval_poly_interval(poly: Polynomial, box: Box) -> Interval:
+    """Interval enclosure of a polynomial over a box."""
+    total = Interval.point(0)
+    for mono, coeff in poly.items():
+        part = Interval.point(coeff)
+        for var, exp in mono:
+            part = part * (box[var] ** exp)
+        total = total + part
+    return total
+
+
+class IcpStatus(Enum):
+    """Verdict vocabulary: UNSAT / SAT / DELTA_SAT / UNKNOWN."""
+    UNSAT = "unsat"
+    SAT = "sat"
+    DELTA_SAT = "delta-sat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class IcpResult:
+    """Outcome of an ICP run: status, witness, search statistics."""
+    status: IcpStatus
+    witness: dict[str, Fraction] | None = None
+    witness_box: Box | None = None
+    boxes_explored: int = 0
+    splits: int = 0
+
+
+@dataclass
+class IcpSolver:
+    """Branch-and-prune over a conjunction of polynomial atoms.
+
+    Parameters
+    ----------
+    delta:
+        Width threshold below which an undecided box is reported as
+        DELTA_SAT.
+    max_boxes:
+        Branching budget; exceeding it yields UNKNOWN.
+    contraction_passes:
+        HC4-style contraction sweeps per box before splitting.
+    """
+
+    delta: float = 1e-7
+    max_boxes: int = 200_000
+    contraction_passes: int = 2
+    _stats_boxes: int = field(default=0, repr=False)
+    _stats_splits: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    def check(self, atoms: Sequence[Atom], box: Box) -> IcpResult:
+        """Decide the conjunction of ``atoms`` over ``box``."""
+        constraints = [(polynomial_of(a.lhs), a.relation) for a in atoms]
+        self._stats_boxes = 0
+        self._stats_splits = 0
+        stack = [box]
+        smallest_undecided: Box | None = None
+        while stack:
+            current = stack.pop()
+            self._stats_boxes += 1
+            if self._stats_boxes > self.max_boxes:
+                return self._result(IcpStatus.UNKNOWN, None, smallest_undecided)
+            contracted = self._contract(constraints, current)
+            if contracted is None:
+                continue  # proven empty
+            current = contracted
+            verdict, undecided = self._classify(constraints, current)
+            if verdict == "infeasible":
+                continue
+            # Exact witness attempt: interval enclosures are outward
+            # rounded, so a feasible boundary point (e.g. x = 1/2 for
+            # 1/2 - x <= 0) never becomes "certainly satisfied"; checking
+            # a few candidate points with rational arithmetic settles
+            # such boxes as SAT instead of splitting to delta width.
+            witness = self._exact_witness(constraints, current)
+            if witness is not None:
+                return self._result(IcpStatus.SAT, witness, current)
+            if current.max_width() <= self.delta:
+                smallest_undecided = current
+                return self._result(IcpStatus.DELTA_SAT, None, current)
+            variable = self._pick_split_variable(current, undecided)
+            low, high = current[variable].split()
+            self._stats_splits += 1
+            stack.append(current.with_interval(variable, high))
+            stack.append(current.with_interval(variable, low))
+        return self._result(IcpStatus.UNSAT, None, None)
+
+    # ------------------------------------------------------------------
+    def _result(
+        self,
+        status: IcpStatus,
+        witness: dict[str, Fraction] | None,
+        box: Box | None,
+    ) -> IcpResult:
+        return IcpResult(
+            status=status,
+            witness=witness,
+            witness_box=box,
+            boxes_explored=self._stats_boxes,
+            splits=self._stats_splits,
+        )
+
+    def _classify(
+        self,
+        constraints: list[tuple[Polynomial, Relation]],
+        box: Box,
+    ) -> tuple[str, list[tuple[Polynomial, Relation]]]:
+        """Classify a box: 'infeasible', 'satisfied', or 'undecided'."""
+        undecided = []
+        for poly, relation in constraints:
+            enclosure = eval_poly_interval(poly, box)
+            if self._certainly_violated(enclosure, relation):
+                return "infeasible", []
+            if not self._certainly_satisfied(enclosure, relation):
+                undecided.append((poly, relation))
+        if not undecided:
+            return "satisfied", []
+        return "undecided", undecided
+
+    @staticmethod
+    def _certainly_violated(enclosure: Interval, relation: Relation) -> bool:
+        if relation is Relation.LE:
+            return enclosure.certainly_positive()
+        if relation is Relation.LT:
+            return enclosure.certainly_nonnegative()
+        if relation is Relation.EQ:
+            return enclosure.certainly_nonzero()
+        # NE is violated only when the enclosure is exactly {0}.
+        return enclosure.lo == 0.0 and enclosure.hi == 0.0
+
+    @staticmethod
+    def _certainly_satisfied(enclosure: Interval, relation: Relation) -> bool:
+        if relation is Relation.LE:
+            return enclosure.certainly_nonpositive()
+        if relation is Relation.LT:
+            return enclosure.certainly_negative()
+        if relation is Relation.EQ:
+            return enclosure.lo == 0.0 and enclosure.hi == 0.0
+        return enclosure.certainly_nonzero()
+
+    def _exact_witness(
+        self,
+        constraints: list[tuple[Polynomial, Relation]],
+        box: Box,
+    ) -> dict[str, Fraction] | None:
+        """Try a few candidate points in the box, exactly (rational arithmetic)."""
+        candidates = [box.midpoint()]
+        if all(math.isfinite(iv.lo) for iv in box.intervals.values()):
+            candidates.append(
+                {name: Fraction(iv.lo) for name, iv in box.intervals.items()}
+            )
+        if all(math.isfinite(iv.hi) for iv in box.intervals.values()):
+            candidates.append(
+                {name: Fraction(iv.hi) for name, iv in box.intervals.items()}
+            )
+        for point in candidates:
+            if self._satisfies_exactly(constraints, point):
+                return point
+        return None
+
+    @staticmethod
+    def _satisfies_exactly(
+        constraints: list[tuple[Polynomial, Relation]],
+        point: dict[str, Fraction],
+    ) -> bool:
+        for poly, relation in constraints:
+            value = poly_eval(poly, point)
+            satisfied = (
+                (relation is Relation.LE and value <= 0)
+                or (relation is Relation.LT and value < 0)
+                or (relation is Relation.EQ and value == 0)
+                or (relation is Relation.NE and value != 0)
+            )
+            if not satisfied:
+                return False
+        return True
+
+    def _pick_split_variable(
+        self,
+        box: Box,
+        undecided: list[tuple[Polynomial, Relation]],
+    ) -> str:
+        """Split the widest variable occurring in an undecided constraint."""
+        candidates: set[str] = set()
+        for poly, _ in undecided:
+            for mono in poly:
+                for var, _exp in mono:
+                    candidates.add(var)
+        if not candidates:
+            candidates = set(box.intervals)
+        return max(candidates, key=lambda name: box[name].width)
+
+    # ------------------------------------------------------------------
+    # HC4-style contraction
+    # ------------------------------------------------------------------
+    def _contract(
+        self,
+        constraints: list[tuple[Polynomial, Relation]],
+        box: Box,
+    ) -> Box | None:
+        """Shrink ``box`` without losing solutions; ``None`` if emptied."""
+        current = box
+        for _ in range(self.contraction_passes):
+            changed = False
+            for poly, relation in constraints:
+                if relation is Relation.NE:
+                    continue  # no useful interval contraction
+                for variable in _linear_variables(poly):
+                    shrunk = self._contract_one(poly, relation, variable, current)
+                    if shrunk is None:
+                        return None
+                    if shrunk is not current:
+                        current = shrunk
+                        changed = True
+            if not changed:
+                break
+        return current
+
+    def _contract_one(
+        self,
+        poly: Polynomial,
+        relation: Relation,
+        variable: str,
+        box: Box,
+    ) -> Box | None:
+        """Contract ``variable`` using ``poly = a*x + b`` (a, b interval-valued).
+
+        Splits the polynomial as ``a(x_others) * x + b(others)`` and, when
+        the enclosure of ``a`` has constant sign, solves the relation
+        for ``x``.
+        """
+        coeff_poly: Polynomial = {}
+        rest_poly: Polynomial = {}
+        for mono, coeff in poly.items():
+            exps = dict(mono)
+            exp = exps.pop(variable, 0)
+            if exp == 0:
+                rest_poly[mono] = coeff
+            elif exp == 1:
+                coeff_poly[tuple(sorted(exps.items()))] = (
+                    coeff_poly.get(tuple(sorted(exps.items())), Fraction(0)) + coeff
+                )
+            else:
+                return box  # not linear in this variable after all
+        a = eval_poly_interval(coeff_poly, box)
+        b = eval_poly_interval(rest_poly, box)
+        if a.lo <= 0.0 <= a.hi:
+            return box  # coefficient sign unknown: skip
+        x = box[variable]
+        # Solve a*x + b <= / < / = 0 for x soundly: x stays feasible when
+        # min over realizations of a*x + b can be <= 0 (resp. >= 0 for the
+        # other side of EQ). Taking the loosest of the endpoint quotients
+        # is a sound over-approximation whatever the sign of x.
+        if a.lo > 0.0:
+            upper = max(_div_up(-b.lo, a.lo), _div_up(-b.lo, a.hi))
+            lower = (
+                min(_div_down(-b.hi, a.lo), _div_down(-b.hi, a.hi))
+                if relation is Relation.EQ
+                else -math.inf
+            )
+        else:  # a.hi < 0
+            lower = min(_div_down(-b.lo, a.lo), _div_down(-b.lo, a.hi))
+            upper = (
+                max(_div_up(-b.hi, a.lo), _div_up(-b.hi, a.hi))
+                if relation is Relation.EQ
+                else math.inf
+            )
+        candidate = Interval(lower, upper) if lower <= upper else None
+        if candidate is None:
+            return None
+        shrunk = x.intersect(candidate)
+        if shrunk is None:
+            return None
+        if shrunk.lo == x.lo and shrunk.hi == x.hi:
+            return box
+        return box.with_interval(variable, shrunk)
+
+
+def _linear_variables(poly: Polynomial):
+    """Variables that appear only with exponent 1 in every monomial."""
+    seen: dict[str, bool] = {}
+    for mono in poly:
+        for var, exp in mono:
+            if exp > 1:
+                seen[var] = False
+            elif var not in seen:
+                seen[var] = True
+    return [var for var, linear in seen.items() if linear]
+
+
+def _div_up(num: float, den: float) -> float:
+    if den == 0.0:
+        return math.inf
+    q = num / den
+    if math.isnan(q):
+        return math.inf
+    return math.nextafter(q, math.inf) if math.isfinite(q) else q
+
+
+def _div_down(num: float, den: float) -> float:
+    if den == 0.0:
+        return -math.inf
+    q = num / den
+    if math.isnan(q):
+        return -math.inf
+    return math.nextafter(q, -math.inf) if math.isfinite(q) else q

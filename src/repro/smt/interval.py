@@ -1,0 +1,237 @@
+"""Sound floating-point interval arithmetic.
+
+Used by the ICP refuter (:mod:`repro.smt.icp`). Bounds are binary
+doubles, and every operation rounds *outward* with ``math.nextafter``,
+so an interval always encloses the exact real result. This keeps the
+refuter fast (hardware floats) while its UNSAT verdicts stay sound;
+exact rational arithmetic is only needed when a verdict must be an
+equality-tight proof, which the :mod:`repro.exact` layer handles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..exact.rational import Number, to_fraction
+
+__all__ = ["Interval"]
+
+_INF = math.inf
+
+
+def _down(x: float) -> float:
+    """Next float toward -inf (identity on infinities)."""
+    if x == -_INF or x == _INF:
+        return x
+    return math.nextafter(x, -_INF)
+
+
+def _up(x: float) -> float:
+    if x == -_INF or x == _INF:
+        return x
+    return math.nextafter(x, _INF)
+
+
+_MAX = math.nextafter(_INF, 0.0)
+
+
+def _lo_of(value: float, exact: Fraction | None) -> float:
+    """A float <= the exact real ``exact``, given its rounded value.
+
+    When the float operation was exact no adjustment is made, which keeps
+    dyadic arithmetic (the common case in ICP boxes) perfectly tight.
+    """
+    if value == -_INF:
+        return value
+    if value == _INF:
+        # The exact result overflowed: the largest finite float is still
+        # a sound lower bound.
+        return _MAX
+    if exact is None or Fraction(value) <= exact:
+        return value
+    return _down(value)
+
+
+def _hi_of(value: float, exact: Fraction | None) -> float:
+    if value == _INF:
+        return value
+    if value == -_INF:
+        return -_MAX
+    if exact is None or Fraction(value) >= exact:
+        return value
+    return _up(value)
+
+
+def _exact_sum(a: float, b: float) -> Fraction | None:
+    if math.isfinite(a) and math.isfinite(b):
+        return Fraction(a) + Fraction(b)
+    return None
+
+
+def _exact_product(a: float, b: float) -> Fraction | None:
+    if math.isfinite(a) and math.isfinite(b):
+        return Fraction(a) * Fraction(b)
+    return None
+
+
+def _frac_lo(q: Fraction) -> float:
+    """A float lower bound on an exact rational."""
+    f = q.numerator / q.denominator
+    return f if Fraction(f) <= q else _down(f)
+
+
+def _frac_hi(q: Fraction) -> float:
+    f = q.numerator / q.denominator
+    return f if Fraction(f) >= q else _up(f)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` with outward-rounded endpoints."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self):
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("NaN interval endpoint")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, value: Number) -> "Interval":
+        """A degenerate interval enclosing one exact value."""
+        q = to_fraction(value)
+        return cls(_frac_lo(q), _frac_hi(q))
+
+    @classmethod
+    def make(cls, lo: Number, hi: Number) -> "Interval":
+        """An interval with outward-rounded rational endpoints."""
+        return cls(_frac_lo(to_fraction(lo)), _frac_hi(to_fraction(hi)))
+
+    @classmethod
+    def whole(cls) -> "Interval":
+        """The whole real line."""
+        return cls(-_INF, _INF)
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """``hi - lo`` in float arithmetic."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        """A finite representative point (midpoint-ish for infinite intervals)."""
+        if self.lo == -_INF and self.hi == _INF:
+            return 0.0
+        if self.lo == -_INF:
+            return min(self.hi - 1.0, 0.0)
+        if self.hi == _INF:
+            return max(self.lo + 1.0, 0.0)
+        mid = 0.5 * (self.lo + self.hi)
+        if not math.isfinite(mid):
+            mid = 0.5 * self.lo + 0.5 * self.hi
+        return mid
+
+    def contains(self, value: Number) -> bool:
+        """Exact membership test for a rational value."""
+        q = to_fraction(value)
+        lo_ok = self.lo == -_INF or Fraction(self.lo) <= q
+        hi_ok = self.hi == _INF or q <= Fraction(self.hi)
+        return lo_ok and hi_ok
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection, or ``None`` when empty."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def split(self) -> tuple["Interval", "Interval"]:
+        """Bisect at the midpoint into two covering halves."""
+        mid = self.midpoint
+        return Interval(self.lo, mid), Interval(mid, self.hi)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (outward rounded)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(
+            _lo_of(self.lo + other.lo, _exact_sum(self.lo, other.lo)),
+            _hi_of(self.hi + other.hi, _exact_sum(self.hi, other.hi)),
+        )
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(
+            _lo_of(self.lo - other.hi, _exact_sum(self.lo, -other.hi)),
+            _hi_of(self.hi - other.lo, _exact_sum(self.hi, -other.lo)),
+        )
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        candidates = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                p = a * b
+                if math.isnan(p):  # 0 * inf — the exact product of a zero
+                    p, exact = 0.0, Fraction(0)  # endpoint is 0: sound
+                else:
+                    exact = _exact_product(a, b)
+                # Selection key: the exact product when available, so that
+                # float ties (underflow to 0.0, etc.) break correctly.
+                key = exact if exact is not None else p
+                candidates.append((key, p, exact))
+        _, lo_val, lo_exact = min(candidates, key=lambda t: t[0])
+        _, hi_val, hi_exact = max(candidates, key=lambda t: t[0])
+        return Interval(_lo_of(lo_val, lo_exact), _hi_of(hi_val, hi_exact))
+
+    def scale(self, k: Number) -> "Interval":
+        """Multiply by an exact scalar (outward rounded)."""
+        return self * Interval.point(k)
+
+    def __pow__(self, exponent: int) -> "Interval":
+        if exponent < 0:
+            raise ValueError("negative exponents unsupported")
+        if exponent == 0:
+            return Interval(1.0, 1.0)
+        result = self
+        for _ in range(exponent - 1):
+            result = result * self
+        if exponent % 2 == 0 and self.lo <= 0.0 <= self.hi:
+            # Even powers are nonnegative; the product recursion cannot
+            # know that, so floor the result at zero.
+            result = Interval(max(result.lo, 0.0), result.hi)
+        return result
+
+    # ------------------------------------------------------------------
+    # Sign queries (used by the refuter)
+    # ------------------------------------------------------------------
+    def certainly_positive(self) -> bool:
+        """``lo > 0`` — every point is positive."""
+        return self.lo > 0.0
+
+    def certainly_nonnegative(self) -> bool:
+        """``lo >= 0``."""
+        return self.lo >= 0.0
+
+    def certainly_negative(self) -> bool:
+        """``hi < 0``."""
+        return self.hi < 0.0
+
+    def certainly_nonpositive(self) -> bool:
+        """``hi <= 0``."""
+        return self.hi <= 0.0
+
+    def certainly_nonzero(self) -> bool:
+        """The interval excludes zero."""
+        return self.lo > 0.0 or self.hi < 0.0
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"

@@ -1,0 +1,203 @@
+"""SMT-LIB 2 parser (the inverse of :mod:`repro.smt.smtlib`).
+
+Parses the QF_NRA fragment the exporter emits — ``set-logic``,
+``declare-const``, ``assert`` with ``and/or/not``, the relations
+``<= < = >= >``, arithmetic ``+ * - /`` and rational/decimal literals —
+back into this library's formula objects. Round-tripping export→parse
+is exact (rationals never go through floats), which the property tests
+exploit; the parser also lets the test-suite consume hand-written
+SMT-LIB fixtures.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .terms import Add, And, Atom, Const, Formula, Mul, Not, Or, Relation, Term, Var
+
+__all__ = ["parse_script", "parse_formula", "ParsedScript", "SmtLibParseError"]
+
+
+class SmtLibParseError(ValueError):
+    """Raised on malformed input."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    current = []
+    in_comment = False
+    for char in text:
+        if in_comment:
+            if char == "\n":
+                in_comment = False
+            continue
+        if char == ";":
+            in_comment = True
+            continue
+        if char in "()":
+            if current:
+                tokens.append("".join(current))
+                current = []
+            tokens.append(char)
+        elif char.isspace():
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(char)
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def _read_sexpr(tokens: list[str], position: int):
+    """Parse one s-expression starting at ``position``; returns (node, next)."""
+    if position >= len(tokens):
+        raise SmtLibParseError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            node, position = _read_sexpr(tokens, position)
+            items.append(node)
+        if position >= len(tokens):
+            raise SmtLibParseError("unbalanced parentheses")
+        return items, position + 1
+    if token == ")":
+        raise SmtLibParseError("unexpected ')'")
+    return token, position + 1
+
+
+def _number(token: str) -> Fraction | None:
+    try:
+        return Fraction(token)
+    except (ValueError, ZeroDivisionError):
+        return None
+
+
+def _to_term(node, declared: set[str]) -> Term:
+    if isinstance(node, str):
+        value = _number(node)
+        if value is not None:
+            return Const(value)
+        if node not in declared:
+            raise SmtLibParseError(f"undeclared symbol {node!r}")
+        return Var(node)
+    if not node:
+        raise SmtLibParseError("empty term")
+    head, *args = node
+    if head == "+":
+        return Add(tuple(_to_term(a, declared) for a in args))
+    if head == "*":
+        return Mul(tuple(_to_term(a, declared) for a in args))
+    if head == "-":
+        if len(args) == 1:
+            return Mul((Const(Fraction(-1)), _to_term(args[0], declared)))
+        first = _to_term(args[0], declared)
+        rest = Add(tuple(_to_term(a, declared) for a in args[1:]))
+        return Add((first, Mul((Const(Fraction(-1)), rest))))
+    if head == "/":
+        if len(args) != 2:
+            raise SmtLibParseError("(/ ...) expects two arguments")
+        num = _to_term(args[0], declared)
+        den = _to_term(args[1], declared)
+        if not isinstance(den, Const) or den.value == 0:
+            raise SmtLibParseError("division only by nonzero constants")
+        if isinstance(num, Const):
+            return Const(num.value / den.value)
+        return Mul((Const(1 / den.value), num))
+    raise SmtLibParseError(f"unsupported term head {head!r}")
+
+
+_RELATIONS = {"<=", "<", "=", ">=", ">"}
+
+
+def _to_formula(node, declared: set[str]) -> Formula:
+    if isinstance(node, str):
+        raise SmtLibParseError(f"bare symbol {node!r} is not a formula")
+    if not node:
+        raise SmtLibParseError("empty formula")
+    head, *args = node
+    if head == "and":
+        return And(tuple(_to_formula(a, declared) for a in args))
+    if head == "or":
+        return Or(tuple(_to_formula(a, declared) for a in args))
+    if head == "not":
+        if len(args) != 1:
+            raise SmtLibParseError("(not ...) expects one argument")
+        return Not(_to_formula(args[0], declared))
+    if head in _RELATIONS:
+        if len(args) != 2:
+            raise SmtLibParseError(f"({head} ...) expects two arguments")
+        lhs = _to_term(args[0], declared)
+        rhs = _to_term(args[1], declared)
+        difference = lhs - rhs
+        if head == "<=":
+            return Atom(difference, Relation.LE)
+        if head == "<":
+            return Atom(difference, Relation.LT)
+        if head == "=":
+            return Atom(difference, Relation.EQ)
+        if head == ">=":
+            return Atom(rhs - lhs, Relation.LE)
+        return Atom(rhs - lhs, Relation.LT)
+    raise SmtLibParseError(f"unsupported formula head {head!r}")
+
+
+class ParsedScript:
+    """The relevant content of a parsed script."""
+
+    def __init__(self, logic: str | None, variables: list[str], assertions: list[Formula]):
+        self.logic = logic
+        self.variables = variables
+        self.assertions = assertions
+
+    @property
+    def formula(self) -> Formula:
+        """All assertions conjoined."""
+        if len(self.assertions) == 1:
+            return self.assertions[0]
+        return And(tuple(self.assertions))
+
+
+def parse_formula(text: str, variables: list[str]) -> Formula:
+    """Parse a single formula s-expression with pre-declared variables."""
+    tokens = _tokenize(text)
+    node, position = _read_sexpr(tokens, 0)
+    if position != len(tokens):
+        raise SmtLibParseError("trailing tokens after formula")
+    return _to_formula(node, set(variables))
+
+
+def parse_script(text: str) -> ParsedScript:
+    """Parse a full script (set-logic / declare-const / assert / ...)."""
+    tokens = _tokenize(text)
+    position = 0
+    logic: str | None = None
+    variables: list[str] = []
+    assertions: list[Formula] = []
+    while position < len(tokens):
+        node, position = _read_sexpr(tokens, position)
+        if not isinstance(node, list) or not node:
+            raise SmtLibParseError(f"unexpected top-level token {node!r}")
+        command = node[0]
+        if command == "set-logic":
+            logic = node[1] if len(node) > 1 else None
+        elif command == "declare-const":
+            if len(node) != 3 or node[2] != "Real":
+                raise SmtLibParseError("only Real constants are supported")
+            variables.append(node[1])
+        elif command == "declare-fun":
+            if len(node) != 4 or node[2] != [] or node[3] != "Real":
+                raise SmtLibParseError("only nullary Real functions supported")
+            variables.append(node[1])
+        elif command == "assert":
+            if len(node) != 2:
+                raise SmtLibParseError("(assert ...) expects one argument")
+            assertions.append(_to_formula(node[1], set(variables)))
+        elif command in ("check-sat", "exit", "set-info", "set-option"):
+            continue
+        else:
+            raise SmtLibParseError(f"unsupported command {command!r}")
+    return ParsedScript(logic, variables, assertions)

@@ -1,0 +1,180 @@
+"""SMT-LIB 2 export of terms and formulas.
+
+The paper ran its validation conditions through Z3 and CVC5; this
+module serializes the exact same queries in SMT-LIB 2 (logic
+``QF_NRA``), so the library's verdicts can be cross-checked against any
+external SMT solver when one is available. The printer is exact:
+rational constants become ``(/ p q)`` terms, never decimal
+approximations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from .icp import Box
+from .terms import (
+    polynomial_of,
+    Add,
+    Atom,
+    Const,
+    Formula,
+    Mul,
+    Not,
+    Or,
+    And,
+    Pow,
+    Relation,
+    Term,
+    Var,
+    _Bool,
+)
+
+__all__ = ["term_to_smtlib", "formula_to_smtlib", "script_for_refutation"]
+
+
+def _rational(value: Fraction) -> str:
+    if value.denominator == 1:
+        if value.numerator < 0:
+            return f"(- {-value.numerator})"
+        return str(value.numerator)
+    sign = "-" if value.numerator < 0 else ""
+    body = f"(/ {abs(value.numerator)} {value.denominator})"
+    return f"(- {body})" if sign else body
+
+
+def term_to_smtlib(term: Term, canonical: bool = True) -> str:
+    """Serialize a term as an SMT-LIB s-expression.
+
+    With ``canonical`` (the default) the term is first expanded into
+    sparse-polynomial normal form, giving compact, deterministic output
+    (exactly equal as a real function); ``canonical=False`` prints the
+    raw AST structure.
+    """
+    if canonical:
+        return _poly_to_smtlib(polynomial_of(term))
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        return _rational(term.value)
+    if isinstance(term, Add):
+        if len(term.args) == 1:
+            return term_to_smtlib(term.args[0], canonical=False)
+        return "(+ " + " ".join(term_to_smtlib(a, canonical=False) for a in term.args) + ")"
+    if isinstance(term, Mul):
+        if len(term.args) == 1:
+            return term_to_smtlib(term.args[0], canonical=False)
+        return "(* " + " ".join(term_to_smtlib(a, canonical=False) for a in term.args) + ")"
+    if isinstance(term, Pow):
+        base = term_to_smtlib(term.base, canonical=False)
+        if term.exponent == 0:
+            return "1"
+        return "(* " + " ".join([base] * term.exponent) + ")"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _poly_to_smtlib(poly) -> str:
+    if not poly:
+        return "0"
+    monomials = []
+    for mono, coeff in sorted(poly.items()):
+        factors = []
+        for var, exp in mono:
+            factors.extend([var] * exp)
+        if coeff != 1 or not factors:
+            factors.insert(0, _rational(coeff))
+        if len(factors) == 1:
+            monomials.append(factors[0])
+        else:
+            monomials.append("(* " + " ".join(factors) + ")")
+    if len(monomials) == 1:
+        return monomials[0]
+    return "(+ " + " ".join(monomials) + ")"
+
+
+_RELATION_SYMBOL = {
+    Relation.LE: "<=",
+    Relation.LT: "<",
+    Relation.EQ: "=",
+}
+
+
+def formula_to_smtlib(formula: Formula) -> str:
+    """Serialize a formula as an SMT-LIB s-expression."""
+    if isinstance(formula, _Bool):
+        return "true" if formula.value else "false"
+    if isinstance(formula, Atom):
+        lhs = term_to_smtlib(formula.lhs)
+        if formula.relation is Relation.NE:
+            return f"(not (= {lhs} 0))"
+        return f"({_RELATION_SYMBOL[formula.relation]} {lhs} 0)"
+    if isinstance(formula, Not):
+        return f"(not {formula_to_smtlib(formula.arg)})"
+    if isinstance(formula, And):
+        return "(and " + " ".join(map(formula_to_smtlib, formula.args)) + ")"
+    if isinstance(formula, Or):
+        return "(or " + " ".join(map(formula_to_smtlib, formula.args)) + ")"
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _collect_vars(formula: Formula, out: set[str]) -> None:
+    if isinstance(formula, Atom):
+        _collect_term_vars(formula.lhs, out)
+    elif isinstance(formula, Not):
+        _collect_vars(formula.arg, out)
+    elif isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            _collect_vars(arg, out)
+
+
+def _collect_term_vars(term: Term, out: set[str]) -> None:
+    if isinstance(term, Var):
+        out.add(term.name)
+    elif isinstance(term, (Add, Mul)):
+        for arg in term.args:
+            _collect_term_vars(arg, out)
+    elif isinstance(term, Pow):
+        _collect_term_vars(term.base, out)
+
+
+def script_for_refutation(
+    atoms: Sequence[Atom] | Formula,
+    box: Box | None = None,
+    logic: str = "QF_NRA",
+    comment: str | None = None,
+) -> str:
+    """A complete ``check-sat`` script for a refutation query.
+
+    ``unsat`` from an external solver certifies the same fact this
+    library's ICP refuter proves: the violation set is empty (within
+    ``box`` when provided — the box becomes explicit bound assertions).
+    """
+    if isinstance(atoms, (list, tuple)):
+        formula: Formula = And(tuple(atoms))
+    else:
+        formula = atoms
+    names: set[str] = set()
+    _collect_vars(formula, names)
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"; {row}")
+    lines.append(f"(set-logic {logic})")
+    for name in sorted(names):
+        lines.append(f"(declare-const {name} Real)")
+    if box is not None:
+        for name in sorted(names):
+            interval = box.intervals.get(name)
+            if interval is None:
+                continue
+            lo = Fraction(interval.lo) if interval.lo != float("-inf") else None
+            hi = Fraction(interval.hi) if interval.hi != float("inf") else None
+            if lo is not None:
+                lines.append(f"(assert (<= {_rational(lo)} {name}))")
+            if hi is not None:
+                lines.append(f"(assert (<= {name} {_rational(hi)}))")
+    lines.append(f"(assert {formula_to_smtlib(formula)})")
+    lines.append("(check-sat)")
+    lines.append("(exit)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,128 @@
+"""Top-level mini-SMT interface.
+
+Combines the pieces of :mod:`repro.smt` into a small solver for
+quantifier-free formulas over polynomial real arithmetic:
+
+* the formula is put in DNF (the library's queries are small),
+* purely affine conjunctions are decided *exactly* by Fourier--Motzkin,
+* nonlinear conjunctions are decided by the ICP branch-and-prune
+  refuter over a caller-supplied bounding box (delta-complete).
+
+``check`` therefore returns SAT with an exact rational model, UNSAT
+(a proof over the box for nonlinear queries, unconditional for linear
+ones), DELTA_SAT, or UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .icp import Box, IcpSolver, IcpStatus
+from .linear import check_atoms_linear
+from .terms import Atom, Formula, Relation, poly_is_linear, polynomial_of, to_dnf
+
+__all__ = ["SmtStatus", "SmtResult", "SmtSolver"]
+
+
+# Re-export the ICP status vocabulary: the SMT result speaks the same.
+SmtStatus = IcpStatus
+
+
+@dataclass
+class SmtResult:
+    """Solver outcome: status, exact model (when SAT), statistics."""
+    status: SmtStatus
+    model: dict[str, Fraction] | None = None
+    conjuncts_checked: int = 0
+    boxes_explored: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        """True when the status is SAT."""
+        return self.status is SmtStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        """True when the status is UNSAT."""
+        return self.status is SmtStatus.UNSAT
+
+
+@dataclass
+class SmtSolver:
+    """Decide quantifier-free polynomial formulas.
+
+    Parameters mirror :class:`~repro.smt.icp.IcpSolver`; ``box`` supplies
+    the domain for nonlinear queries (ICP needs a bounded search space —
+    the library's callers always have a natural one, e.g. the unit-sphere
+    faces for definiteness checks).
+    """
+
+    delta: float = 1e-7
+    max_boxes: int = 200_000
+
+    def check(self, formula: Formula, box: Box | None = None) -> SmtResult:
+        disjuncts = to_dnf(formula)
+        total_boxes = 0
+        saw_delta = False
+        saw_unknown = False
+        for conjunct in disjuncts:
+            result = self.check_conjunction(conjunct, box)
+            total_boxes += result.boxes_explored
+            if result.status is SmtStatus.SAT:
+                return SmtResult(
+                    SmtStatus.SAT, result.model, len(disjuncts), total_boxes
+                )
+            if result.status is SmtStatus.DELTA_SAT:
+                saw_delta = True
+            elif result.status is SmtStatus.UNKNOWN:
+                saw_unknown = True
+        if saw_delta:
+            status = SmtStatus.DELTA_SAT
+        elif saw_unknown:
+            status = SmtStatus.UNKNOWN
+        else:
+            status = SmtStatus.UNSAT
+        return SmtResult(status, None, len(disjuncts), total_boxes)
+
+    def check_conjunction(
+        self, atoms: list[Atom], box: Box | None = None
+    ) -> SmtResult:
+        """Decide one conjunction of atoms (linear -> FM, else ICP)."""
+        if not atoms:
+            return SmtResult(SmtStatus.SAT, {})
+        if all(poly_is_linear(polynomial_of(a.lhs)) for a in atoms):
+            linear = check_atoms_linear(atoms)
+            if linear.satisfiable:
+                return SmtResult(SmtStatus.SAT, linear.model)
+            return SmtResult(SmtStatus.UNSAT)
+        if box is None:
+            raise ValueError("nonlinear conjunction requires a bounding box")
+        # ICP cannot branch on disequalities; case-split them first.
+        ne_atoms = [a for a in atoms if a.relation is Relation.NE]
+        if ne_atoms:
+            base = [a for a in atoms if a.relation is not Relation.NE]
+            first, rest = ne_atoms[0], ne_atoms[1:]
+            outcomes = []
+            for branch in (
+                Atom(first.lhs, Relation.LT),
+                Atom(-first.lhs, Relation.LT),
+            ):
+                outcome = self.check_conjunction(base + [branch] + rest, box)
+                if outcome.status is SmtStatus.SAT:
+                    return outcome
+                outcomes.append(outcome)
+            worst = max(
+                outcomes,
+                key=lambda r: [
+                    SmtStatus.UNSAT,
+                    SmtStatus.UNKNOWN,
+                    SmtStatus.DELTA_SAT,
+                ].index(r.status),
+            )
+            return worst
+        icp = IcpSolver(delta=self.delta, max_boxes=self.max_boxes)
+        result = icp.check(atoms, box)
+        return SmtResult(
+            result.status, result.witness, 1, result.boxes_explored
+        )

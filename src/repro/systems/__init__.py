@@ -1,0 +1,75 @@
+"""Dynamical-systems substrate: plants, PI control, PWA systems, simulation."""
+
+from .analysis import (
+    KalmanDecomposition,
+    controllability_matrix,
+    is_controllable,
+    is_minimal,
+    is_observable,
+    kalman_decomposition,
+    observability_matrix,
+    pbh_uncontrollable_eigenvalues,
+    pbh_unobservable_eigenvalues,
+)
+from .closedloop import (
+    build_closed_loop,
+    closed_loop_matrices,
+    fixed_mode_closed_loop,
+    lift_guard,
+)
+from .discretize import DiscreteStateSpace, discretize_zoh
+from .frequency import (
+    LoopMargins,
+    frequency_response,
+    loop_margins,
+    sigma_max_response,
+    transfer_function,
+)
+from .pi import OutputGuard, PIGains, SwitchedPIController
+from .pwa import PwaMode, PwaSystem
+from .regions import HalfSpace, PolyhedralRegion
+from .simulate import (
+    Trajectory,
+    rk45_step,
+    settling_time,
+    simulate_affine,
+    simulate_pwa,
+)
+from .statespace import AffineSystem, StateSpace
+
+__all__ = [
+    "StateSpace",
+    "AffineSystem",
+    "PIGains",
+    "OutputGuard",
+    "SwitchedPIController",
+    "HalfSpace",
+    "PolyhedralRegion",
+    "PwaMode",
+    "PwaSystem",
+    "closed_loop_matrices",
+    "fixed_mode_closed_loop",
+    "build_closed_loop",
+    "lift_guard",
+    "Trajectory",
+    "rk45_step",
+    "simulate_affine",
+    "simulate_pwa",
+    "settling_time",
+    "transfer_function",
+    "frequency_response",
+    "sigma_max_response",
+    "LoopMargins",
+    "loop_margins",
+    "DiscreteStateSpace",
+    "discretize_zoh",
+    "controllability_matrix",
+    "observability_matrix",
+    "is_controllable",
+    "is_observable",
+    "is_minimal",
+    "KalmanDecomposition",
+    "kalman_decomposition",
+    "pbh_uncontrollable_eigenvalues",
+    "pbh_unobservable_eigenvalues",
+]

@@ -1,0 +1,185 @@
+"""Structural analysis of linear systems.
+
+Controllability/observability tests (PBH eigenvalue tests — numerically
+robust for stiff systems, where the classic Krylov-matrix rank underflows),
+Kalman decomposition (Gramian-subspace based for stable systems), and
+minimality checks. Used to justify the balanced-truncation orders of the
+benchmark ladder: a reduction below the strongly reachable-and-observable
+order breaks a control channel — exactly the failure mode the
+integer-rounded size-3 model exhibited during design (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .statespace import StateSpace
+
+__all__ = [
+    "controllability_matrix",
+    "observability_matrix",
+    "pbh_uncontrollable_eigenvalues",
+    "pbh_unobservable_eigenvalues",
+    "is_controllable",
+    "is_observable",
+    "is_minimal",
+    "KalmanDecomposition",
+    "kalman_decomposition",
+]
+
+
+def controllability_matrix(plant: StateSpace) -> np.ndarray:
+    """``[B, AB, ..., A^{n-1} B]`` (n x n*m).
+
+    Note: for stiff systems the high powers dwarf ``B`` and the numeric
+    rank of this matrix underflows — prefer the PBH predicates below for
+    yes/no questions.
+    """
+    blocks = []
+    current = plant.b
+    for _ in range(plant.n_states):
+        blocks.append(current)
+        current = plant.a @ current
+    return np.hstack(blocks)
+
+
+def observability_matrix(plant: StateSpace) -> np.ndarray:
+    """``[C; CA; ...; C A^{n-1}]`` (n*p x n); see the stiffness caveat
+    on :func:`controllability_matrix`."""
+    blocks = []
+    current = plant.c
+    for _ in range(plant.n_states):
+        blocks.append(current)
+        current = current @ plant.a
+    return np.vstack(blocks)
+
+
+def _pbh_deficient(
+    a: np.ndarray, other: np.ndarray, stack_rows: bool, tol: float
+) -> list[complex]:
+    """Eigenvalues where ``[A - lambda I | B]`` (or the row-stacked dual)
+    loses rank — the Popov–Belevitch–Hautus test."""
+    n = a.shape[0]
+    scale = max(float(np.linalg.norm(a, 2)), 1.0)
+    deficient = []
+    for eigenvalue in np.linalg.eigvals(a):
+        shifted = a - eigenvalue * np.eye(n)
+        pencil = (
+            np.vstack([shifted, other]) if stack_rows
+            else np.hstack([shifted, other])
+        )
+        s = np.linalg.svd(pencil, compute_uv=False)
+        if s[n - 1] <= tol * scale:
+            deficient.append(complex(eigenvalue))
+    return deficient
+
+
+def pbh_uncontrollable_eigenvalues(
+    plant: StateSpace, tol: float = 1e-9
+) -> list[complex]:
+    """Eigenvalues failing the controllability PBH test (empty = controllable)."""
+    return _pbh_deficient(plant.a, plant.b, stack_rows=False, tol=tol)
+
+
+def pbh_unobservable_eigenvalues(
+    plant: StateSpace, tol: float = 1e-9
+) -> list[complex]:
+    """Eigenvalues failing the observability PBH test (empty = observable)."""
+    return _pbh_deficient(plant.a, plant.c, stack_rows=True, tol=tol)
+
+
+def is_controllable(plant: StateSpace, tol: float = 1e-9) -> bool:
+    return not pbh_uncontrollable_eigenvalues(plant, tol)
+
+
+def is_observable(plant: StateSpace, tol: float = 1e-9) -> bool:
+    return not pbh_unobservable_eigenvalues(plant, tol)
+
+
+def is_minimal(plant: StateSpace, tol: float = 1e-9) -> bool:
+    """Minimal iff controllable and observable."""
+    return is_controllable(plant, tol) and is_observable(plant, tol)
+
+
+@dataclass(frozen=True)
+class KalmanDecomposition:
+    """Subspace dimensions plus an orthonormal basis ordered with the
+    controllable-and-observable directions first."""
+
+    transform: np.ndarray
+    n_controllable: int
+    n_observable: int
+    n_co: int  # controllable AND observable
+
+    @property
+    def minimal_order(self) -> int:
+        return self.n_co
+
+
+def _subspace_bases(plant: StateSpace, tol: float):
+    """(controllable basis, unobservable basis) — Gramian ranges for
+    stable systems (well-scaled), Krylov ranges otherwise."""
+    n = plant.n_states
+    if plant.is_stable():
+        from ..reduction import controllability_gramian, observability_gramian
+
+        wc = controllability_gramian(plant)
+        wo = observability_gramian(plant)
+        u, s, _ = np.linalg.svd(wc)
+        n_c = int(np.sum(s > tol * max(s[0], 1e-300)))
+        basis_c = u[:, :n_c]
+        u2, s2, _ = np.linalg.svd(wo)
+        n_o = int(np.sum(s2 > tol * max(s2[0], 1e-300)))
+        null_o = u2[:, n_o:]
+        return basis_c, null_o, n_c, n_o
+    ctrb = controllability_matrix(plant)
+    obsv = observability_matrix(plant)
+    u, s, _ = np.linalg.svd(ctrb, full_matrices=True)
+    n_c = int(np.sum(s > tol * max(s[0] if len(s) else 1.0, 1.0)))
+    u2, s2, vt2 = np.linalg.svd(obsv, full_matrices=True)
+    n_o = int(np.sum(s2 > tol * max(s2[0] if len(s2) else 1.0, 1.0)))
+    return u[:, :n_c], vt2[n_o:, :].T, n_c, n_o
+
+
+def kalman_decomposition(
+    plant: StateSpace, tol: float = 1e-9
+) -> KalmanDecomposition:
+    """Numeric Kalman analysis.
+
+    For stable plants the controllable subspace is ``range(Wc)`` and the
+    unobservable one ``null(Wo)`` (Gramians are far better scaled than
+    Krylov matrices on stiff dynamics); the dimensions combine to the
+    controllable-and-observable order — the least order any realization
+    of the same I/O behaviour can have.
+    """
+    n = plant.n_states
+    basis_c, null_o, n_c, n_o = _subspace_bases(plant, tol)
+    if null_o.shape[1] == 0 or n_c == 0:
+        intersection = 0
+    else:
+        stacked = np.hstack([basis_c, null_o])
+        rank = int(np.linalg.matrix_rank(stacked, tol=tol))
+        intersection = n_c + null_o.shape[1] - rank
+    n_co = n_c - intersection
+    # Basis assembly: project the unobservable part out of the
+    # controllable directions, orthonormalize, complete.
+    if n_co > 0:
+        projector = (
+            null_o @ null_o.T if null_o.shape[1] else np.zeros((n, n))
+        )
+        candidates = basis_c - projector @ basis_c
+        q, r = np.linalg.qr(candidates)
+        keep = np.abs(np.diag(r)) > tol
+        co_basis = q[:, : min(n_co, int(keep.sum()))]
+    else:
+        co_basis = np.zeros((n, 0))
+    q_full, _ = np.linalg.qr(np.hstack([co_basis, np.eye(n)]))
+    transform = q_full[:, :n]
+    return KalmanDecomposition(
+        transform=transform,
+        n_controllable=n_c,
+        n_observable=n_o,
+        n_co=n_co,
+    )

@@ -1,0 +1,94 @@
+"""Closed-loop reformulation of a switched PI loop (Section IV-B).
+
+Given the open-loop plant ``S = (A, B, C)`` and a switched PI controller
+``pi``, the feedback interconnection becomes an *autonomous* PWA system
+over the extended state ``w = (x, u)``:
+
+    w' = [[A,   B  ],   w + [[0     ],   r
+          [N_i, M_i]]        [K_{I,i}]]
+
+with ``N_i = -K_{P,i} C A - K_{I,i} C`` and ``M_i = -K_{P,i} C B``
+(Equations 18–22). The operating regions are the controller guards
+lifted through ``y = C x`` (Equations 14–16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pi import PIGains, SwitchedPIController
+from .pwa import PwaMode, PwaSystem
+from .regions import HalfSpace, PolyhedralRegion
+from .statespace import AffineSystem, StateSpace
+
+__all__ = [
+    "closed_loop_matrices",
+    "fixed_mode_closed_loop",
+    "build_closed_loop",
+    "lift_guard",
+]
+
+
+def closed_loop_matrices(
+    plant: StateSpace, gains: PIGains
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(A_cl, B_cl)`` with ``w' = A_cl w + B_cl r`` for one mode.
+
+    ``A_cl`` is ``(n+m) x (n+m)`` over ``w = (x, u)``; ``B_cl`` maps the
+    constant reference vector ``r``.
+    """
+    if gains.n_outputs != plant.n_outputs:
+        raise ValueError("gain/output dimension mismatch")
+    if gains.n_inputs != plant.n_inputs:
+        raise ValueError("gain/input dimension mismatch")
+    a, b, c = plant.a, plant.b, plant.c
+    n_upper = -gains.kp @ c @ a - gains.ki @ c
+    m_lower = -gains.kp @ c @ b
+    a_cl = np.block([[a, b], [n_upper, m_lower]])
+    b_cl = np.vstack([np.zeros((plant.n_states, plant.n_outputs)), gains.ki])
+    return a_cl, b_cl
+
+
+def fixed_mode_closed_loop(
+    plant: StateSpace, gains: PIGains, r: np.ndarray
+) -> AffineSystem:
+    """The (non-switched) closed loop as an autonomous affine system."""
+    a_cl, b_cl = closed_loop_matrices(plant, gains)
+    r = np.asarray(r, dtype=float).reshape(plant.n_outputs)
+    return AffineSystem(a_cl, b_cl @ r)
+
+
+def lift_guard(plant: StateSpace, guard, r: np.ndarray) -> HalfSpace:
+    """Rewrite an output guard as a half-space over ``w = (x, u)``.
+
+    ``g . y + f . r + h > 0`` with ``y = C x`` becomes
+    ``(C^T g, 0) . w + (f . r + h) > 0``.
+    """
+    r = np.asarray(r, dtype=float).reshape(plant.n_outputs)
+    normal = np.concatenate(
+        [plant.c.T @ guard.g, np.zeros(plant.n_inputs)]
+    )
+    offset = float(guard.f @ r + guard.h)
+    return HalfSpace(tuple(normal), offset, strict=guard.strict)
+
+
+def build_closed_loop(
+    plant: StateSpace,
+    controller: SwitchedPIController,
+    r: np.ndarray,
+) -> PwaSystem:
+    """The full Section IV-B reformulation: an autonomous PWA system."""
+    if controller.n_outputs != plant.n_outputs:
+        raise ValueError("controller/plant output mismatch")
+    if controller.n_inputs != plant.n_inputs:
+        raise ValueError("controller/plant input mismatch")
+    r = np.asarray(r, dtype=float).reshape(plant.n_outputs)
+    modes = []
+    for index, gains in enumerate(controller.gains):
+        flow = fixed_mode_closed_loop(plant, gains, r)
+        halfspaces = [
+            lift_guard(plant, guard, r) for guard in controller.guards[index]
+        ]
+        region = PolyhedralRegion(halfspaces)
+        modes.append(PwaMode(flow=flow, region=region, name=f"mode{index}"))
+    return PwaSystem(modes)

@@ -1,0 +1,94 @@
+"""Zero-order-hold discretization of continuous-time systems.
+
+The paper verifies the continuous-time design; an embedded controller
+executes a sampled version. This module provides the standard exact ZOH
+map
+
+    A_d = e^{A T},     B_d = (integral_0^T e^{A s} ds) B
+
+computed through the block-matrix exponential trick (no invertibility
+assumption on ``A``), plus a discrete-time state-space container with
+simulation. Discrete-time Lyapunov verification lives in
+:mod:`repro.lyapunov.discrete`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import expm
+
+from .statespace import StateSpace
+
+__all__ = ["DiscreteStateSpace", "discretize_zoh"]
+
+
+@dataclass(frozen=True)
+class DiscreteStateSpace:
+    """``x[k+1] = A_d x[k] + B_d u[k]``, ``y[k] = C x[k]`` at period ``dt``."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    dt: float
+
+    def __post_init__(self):
+        a = np.atleast_2d(np.asarray(self.a, dtype=float))
+        b = np.atleast_2d(np.asarray(self.b, dtype=float))
+        c = np.atleast_2d(np.asarray(self.c, dtype=float))
+        if a.shape[0] != a.shape[1] or b.shape[0] != a.shape[0]:
+            raise ValueError("A must be square and B row-compatible")
+        if c.shape[1] != a.shape[0]:
+            raise ValueError("C column mismatch")
+        if self.dt <= 0:
+            raise ValueError("sampling period must be positive")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+
+    @property
+    def n_states(self) -> int:
+        """State dimension."""
+        return self.a.shape[0]
+
+    def spectral_radius(self) -> float:
+        """Largest eigenvalue magnitude of ``A_d``."""
+        return float(np.abs(np.linalg.eigvals(self.a)).max())
+
+    def is_stable(self) -> bool:
+        """Schur stability: every eigenvalue strictly inside the unit disc."""
+        return self.spectral_radius() < 1.0
+
+    def step(self, x: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """One sample-period update ``A_d x + B_d u``."""
+        return self.a @ np.asarray(x, dtype=float) + self.b @ np.asarray(
+            u, dtype=float
+        )
+
+    def simulate(self, x0: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """States ``x[0..K]`` under an input sequence of length ``K``."""
+        x = np.asarray(x0, dtype=float)
+        states = [x.copy()]
+        for u in np.atleast_2d(inputs):
+            x = self.step(x, u)
+            states.append(x.copy())
+        return np.array(states)
+
+
+def discretize_zoh(plant: StateSpace, dt: float) -> DiscreteStateSpace:
+    """Exact zero-order-hold discretization at period ``dt``.
+
+    Uses ``expm([[A, B], [0, 0]] dt) = [[A_d, B_d], [0, I]]``, which is
+    valid for any ``A`` (singular included).
+    """
+    if dt <= 0:
+        raise ValueError("sampling period must be positive")
+    n, m = plant.n_states, plant.n_inputs
+    block = np.zeros((n + m, n + m))
+    block[:n, :n] = plant.a
+    block[:n, n:] = plant.b
+    exp_block = expm(block * dt)
+    return DiscreteStateSpace(
+        a=exp_block[:n, :n], b=exp_block[:n, n:], c=plant.c.copy(), dt=dt
+    )

@@ -1,0 +1,124 @@
+"""PI controllers and switched PI controllers (Sections III-B, IV-A).
+
+A PI controller realizes ``u = K_P e + K_I \\int e dt`` for the error
+``e = r - y``. A *switched* PI controller holds one gain pair per
+operating mode plus a mode-selection law expressed as affine guards on
+the outputs and references (Equation 13, with the reference entering
+the constant term as in the case study's ``r0 - y0 < Theta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PIGains", "OutputGuard", "SwitchedPIController"]
+
+
+@dataclass(frozen=True)
+class PIGains:
+    """One mode's gain pair ``(K_P, K_I)``, both ``r x p`` matrices."""
+
+    kp: np.ndarray
+    ki: np.ndarray
+
+    def __post_init__(self):
+        kp = np.atleast_2d(np.asarray(self.kp, dtype=float))
+        ki = np.atleast_2d(np.asarray(self.ki, dtype=float))
+        if kp.shape != ki.shape:
+            raise ValueError(f"K_P {kp.shape} and K_I {ki.shape} shape mismatch")
+        object.__setattr__(self, "kp", kp)
+        object.__setattr__(self, "ki", ki)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of actuation inputs ``r``."""
+        return self.kp.shape[0]
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of measured outputs ``p``."""
+        return self.kp.shape[1]
+
+
+@dataclass(frozen=True)
+class OutputGuard:
+    """An activating condition ``g . y + f . r + h {>, >=} 0``.
+
+    ``g`` weights the measured outputs, ``f`` the reference values (the
+    case study's guard ``r0 - y0 < Theta`` has the reference in its
+    constant part), and ``h`` is a scalar offset.
+    """
+
+    g: np.ndarray
+    f: np.ndarray
+    h: float
+    strict: bool = False
+
+    def __post_init__(self):
+        g = np.asarray(self.g, dtype=float).reshape(-1)
+        f = np.asarray(self.f, dtype=float).reshape(-1)
+        object.__setattr__(self, "g", g)
+        object.__setattr__(self, "f", f)
+        object.__setattr__(self, "h", float(self.h))
+
+    def holds(self, y: np.ndarray, r: np.ndarray) -> bool:
+        """Evaluate the guard at ``(y, r)``."""
+        value = float(self.g @ y + self.f @ r + self.h)
+        return value > 0 if self.strict else value >= 0
+
+
+@dataclass(frozen=True)
+class SwitchedPIController:
+    """A finite family of PI gain pairs with guard-based mode selection.
+
+    ``guards[i]`` lists the conditions (all must hold) activating mode
+    ``i``. Guards should partition the output space for every reference;
+    :meth:`mode_of` returns the first mode whose guards all hold.
+    """
+
+    gains: tuple
+    guards: tuple
+
+    def __init__(
+        self,
+        gains: Sequence[PIGains],
+        guards: Sequence[Sequence[OutputGuard]],
+    ):
+        gains = tuple(gains)
+        guards = tuple(tuple(gs) for gs in guards)
+        if not gains:
+            raise ValueError("need at least one mode")
+        if len(gains) != len(guards):
+            raise ValueError("one guard list per mode required")
+        shapes = {(g.kp.shape) for g in gains}
+        if len(shapes) != 1:
+            raise ValueError("all modes must share the gain shape")
+        object.__setattr__(self, "gains", gains)
+        object.__setattr__(self, "guards", guards)
+
+    @property
+    def n_modes(self) -> int:
+        """Number of operating modes."""
+        return len(self.gains)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of actuation inputs ``r``."""
+        return self.gains[0].n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of measured outputs ``p``."""
+        return self.gains[0].n_outputs
+
+    def mode_of(self, y: np.ndarray, r: np.ndarray) -> int:
+        """Index of the first mode whose guards all hold at ``(y, r)``."""
+        y = np.asarray(y, dtype=float).reshape(-1)
+        r = np.asarray(r, dtype=float).reshape(-1)
+        for mode, conditions in enumerate(self.guards):
+            if all(c.holds(y, r) for c in conditions):
+                return mode
+        raise ValueError(f"no mode active at y={y}, r={r}: guards do not cover")

@@ -1,0 +1,122 @@
+"""Half-spaces and convex polyhedral operating regions (Section III-C).
+
+Regions partition the closed-loop state space; each is an intersection
+of half-spaces ``normal . w + offset {>, >=} 0``. They evaluate
+numerically (simulation, synthesis) and convert to exact atoms for the
+SMT layer (validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from ..exact import to_fraction
+from ..smt import Atom, Relation, Var, affine_term
+
+__all__ = ["HalfSpace", "PolyhedralRegion"]
+
+
+@dataclass(frozen=True)
+class HalfSpace:
+    """``normal . w + offset > 0`` (strict) or ``>= 0`` (non-strict)."""
+
+    normal: tuple
+    offset: object
+    strict: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "normal", tuple(to_fraction(x) for x in self.normal)
+        )
+        object.__setattr__(self, "offset", to_fraction(self.offset))
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return len(self.normal)
+
+    # ------------------------------------------------------------------
+    def value(self, point: Sequence) -> Fraction:
+        """Exact evaluation of ``normal . point + offset``."""
+        if len(point) != self.dimension:
+            raise ValueError("dimension mismatch")
+        return (
+            sum(
+                (g * to_fraction(x) for g, x in zip(self.normal, point)),
+                Fraction(0),
+            )
+            + self.offset
+        )
+
+    def value_float(self, point: np.ndarray) -> float:
+        """Float evaluation of ``normal . point + offset``."""
+        return float(
+            np.dot(np.array([float(g) for g in self.normal]), point)
+            + float(self.offset)
+        )
+
+    def contains(self, point: Sequence) -> bool:
+        """Exact membership test."""
+        v = self.value(point)
+        return v > 0 if self.strict else v >= 0
+
+    def complement(self) -> "HalfSpace":
+        """The complementary half-space (``not contains``)."""
+        return HalfSpace(
+            tuple(-g for g in self.normal), -self.offset, strict=not self.strict
+        )
+
+    def boundary_atom(self, variables: Sequence[Var]) -> Atom:
+        """``normal . w + offset = 0`` as an SMT atom."""
+        return Atom(
+            affine_term(list(self.normal), variables, self.offset), Relation.EQ
+        )
+
+    def to_atom(self, variables: Sequence[Var]) -> Atom:
+        """Membership (``> / >= 0``) as an SMT atom, normalized to ``< / <= 0``."""
+        term = affine_term(
+            [-g for g in self.normal], variables, -self.offset
+        )
+        # normal.w + offset > 0  <=>  -(normal.w) - offset < 0
+        return Atom(term, Relation.LT if self.strict else Relation.LE)
+
+    def normal_float(self) -> np.ndarray:
+        """The normal vector as a float array."""
+        return np.array([float(g) for g in self.normal])
+
+
+@dataclass(frozen=True)
+class PolyhedralRegion:
+    """A convex intersection of half-spaces."""
+
+    halfspaces: tuple
+
+    def __init__(self, halfspaces: Sequence[HalfSpace]):
+        halfspaces = tuple(halfspaces)
+        if not halfspaces:
+            raise ValueError("a region needs at least one half-space")
+        dims = {h.dimension for h in halfspaces}
+        if len(dims) != 1:
+            raise ValueError("mixed half-space dimensions")
+        object.__setattr__(self, "halfspaces", halfspaces)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return self.halfspaces[0].dimension
+
+    def contains(self, point: Sequence) -> bool:
+        """Exact membership test."""
+        return all(h.contains(point) for h in self.halfspaces)
+
+    def to_atoms(self, variables: Sequence[Var]) -> list[Atom]:
+        """Membership conditions as SMT atoms."""
+        return [h.to_atom(variables) for h in self.halfspaces]
+
+    def margin(self, point: np.ndarray) -> float:
+        """Smallest (float) half-space value — positive strictly inside."""
+        return min(h.value_float(point) for h in self.halfspaces)

@@ -1,0 +1,16 @@
+"""Exact validation of numerically synthesized Lyapunov candidates."""
+
+from .piecewise import PiecewiseValidation, validate_piecewise
+from .pipeline import ValidationReport, lie_derivative_exact, validate_candidate
+from .validators import VALIDATORS, ValidatorResult, run_validator
+
+__all__ = [
+    "VALIDATORS",
+    "ValidatorResult",
+    "run_validator",
+    "ValidationReport",
+    "validate_candidate",
+    "lie_derivative_exact",
+    "PiecewiseValidation",
+    "validate_piecewise",
+]

@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Hypothesis: exact rational arithmetic has high variance per example
+(coefficient growth depends on the drawn values), so the default
+200ms deadline is disabled; example counts are kept moderate in the
+individual ``@settings`` decorations instead.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,124 @@
+"""Tests for structural analysis (repro.systems.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.systems import StateSpace
+from repro.systems.analysis import (
+    controllability_matrix,
+    is_controllable,
+    is_minimal,
+    is_observable,
+    kalman_decomposition,
+    observability_matrix,
+)
+
+
+def chain():
+    """Controllable + observable 2-state chain."""
+    return StateSpace([[-1.0, 1.0], [0.0, -2.0]], [[0.0], [1.0]], [[1.0, 0.0]])
+
+
+def uncontrollable():
+    """Second state disconnected from the input."""
+    return StateSpace([[-1.0, 0.0], [0.0, -2.0]], [[1.0], [0.0]], [[1.0, 1.0]])
+
+
+def unobservable():
+    """Second state invisible at the output."""
+    return StateSpace([[-1.0, 0.0], [0.0, -2.0]], [[1.0], [1.0]], [[1.0, 0.0]])
+
+
+class TestMatrices:
+    def test_controllability_matrix_shape_and_content(self):
+        plant = chain()
+        ctrb = controllability_matrix(plant)
+        assert ctrb.shape == (2, 2)
+        # [B, AB] = [[0, 1], [1, -2]]
+        assert np.allclose(ctrb, [[0.0, 1.0], [1.0, -2.0]])
+
+    def test_observability_matrix(self):
+        plant = chain()
+        obsv = observability_matrix(plant)
+        assert obsv.shape == (2, 2)
+        assert np.allclose(obsv, [[1.0, 0.0], [-1.0, 1.0]])
+
+    def test_predicates(self):
+        assert is_controllable(chain())
+        assert is_observable(chain())
+        assert is_minimal(chain())
+        assert not is_controllable(uncontrollable())
+        assert not is_observable(unobservable())
+        assert not is_minimal(uncontrollable())
+        assert not is_minimal(unobservable())
+
+
+class TestKalman:
+    def test_minimal_system(self):
+        decomposition = kalman_decomposition(chain())
+        assert decomposition.n_controllable == 2
+        assert decomposition.n_observable == 2
+        assert decomposition.minimal_order == 2
+
+    def test_uncontrollable_system(self):
+        decomposition = kalman_decomposition(uncontrollable())
+        assert decomposition.n_controllable == 1
+        assert decomposition.minimal_order == 1
+
+    def test_unobservable_system(self):
+        decomposition = kalman_decomposition(unobservable())
+        assert decomposition.n_observable == 1
+        assert decomposition.minimal_order == 1
+
+    def test_transform_is_orthonormal(self):
+        decomposition = kalman_decomposition(chain())
+        t = decomposition.transform
+        assert np.allclose(t.T @ t, np.eye(2), atol=1e-10)
+
+    def test_engine_is_minimal_pbh(self):
+        """The synthetic engine must be a minimal realization: every
+        state participates in the I/O behaviour (else balanced
+        truncation orders would be misleading). PBH is the robust test
+        for this stiff model."""
+        from repro.engine import build_engine_plant
+        from repro.systems import (
+            pbh_uncontrollable_eigenvalues,
+            pbh_unobservable_eigenvalues,
+        )
+
+        plant = build_engine_plant()
+        assert pbh_uncontrollable_eigenvalues(plant) == []
+        assert pbh_unobservable_eigenvalues(plant) == []
+        assert is_minimal(plant)
+
+    def test_engine_kalman_gramian_subspaces(self):
+        """Gramian-based Kalman analysis: the weakest directions sit
+        many orders below the dominant ones (the Hankel tail), so the
+        *strong* minimal order at a loose tolerance is what balanced
+        truncation actually keeps."""
+        from repro.engine import build_engine_plant
+
+        plant = build_engine_plant()
+        strict = kalman_decomposition(plant, tol=1e-14)
+        assert strict.minimal_order == 18
+        loose = kalman_decomposition(plant, tol=1e-4)
+        assert loose.minimal_order < 18
+
+    def test_reduced_models_stay_minimal(self):
+        from repro.engine import case_by_name
+
+        for name in ("size3", "size5", "size10"):
+            plant = case_by_name(name).plant
+            assert is_minimal(plant, tol=1e-8), name
+
+    def test_block_diagonal_disconnected(self):
+        # Two disconnected SISO systems, output sees only the first:
+        # minimal order 1 (second block neither observable... still
+        # controllable, but not observable).
+        plant = StateSpace(
+            np.diag([-1.0, -2.0]),
+            np.array([[1.0], [1.0]]),
+            np.array([[1.0, 0.0]]),
+        )
+        decomposition = kalman_decomposition(plant)
+        assert decomposition.minimal_order == 1

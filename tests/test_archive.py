@@ -1,0 +1,72 @@
+"""Tests for ARCH benchmark export/import (repro.engine.archive)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import case_by_name, export_arch_benchmark, load_arch_benchmark
+
+
+@pytest.fixture(scope="module")
+def exported():
+    case = case_by_name("size3")
+    r = case.reference()
+    system = case.switched_system(r)
+    text = export_arch_benchmark(
+        system, name="uc5-size3", reference=r,
+        metadata={"theta": 1.0, "source": "repro"},
+    )
+    return case, r, system, text
+
+
+class TestExport:
+    def test_payload_structure(self, exported):
+        _case, _r, system, text = exported
+        payload = json.loads(text)
+        assert payload["format"] == "repro-arch-benchmark-v1"
+        assert payload["dimension"] == system.dimension
+        assert len(payload["modes"]) == 2
+        assert payload["metadata"]["theta"] == 1.0
+        # half-space data is exact rational strings
+        normal = payload["modes"][0]["invariant"][0]["normal"]
+        assert all(isinstance(x, str) for x in normal)
+
+
+class TestRoundTrip:
+    def test_dynamics_preserved_exactly(self, exported):
+        _case, _r, system, text = exported
+        loaded, info = load_arch_benchmark(text)
+        assert loaded.dimension == system.dimension
+        for original, rebuilt in zip(system.modes, loaded.modes):
+            assert np.array_equal(original.flow.a, rebuilt.flow.a)
+            assert np.array_equal(original.flow.b, rebuilt.flow.b)
+            for h1, h2 in zip(
+                original.region.halfspaces, rebuilt.region.halfspaces
+            ):
+                assert h1.normal == h2.normal
+                assert h1.offset == h2.offset
+                assert h1.strict == h2.strict
+        assert np.allclose(info["reference"], _r)
+
+    def test_loaded_system_behaves_identically(self, exported):
+        from repro.systems import simulate_pwa
+
+        _case, _r, system, text = exported
+        loaded, _ = load_arch_benchmark(text)
+        w0 = system.modes[1].flow.equilibrium() * 1.05
+        t1 = simulate_pwa(system, w0, t_final=2.0)
+        t2 = simulate_pwa(loaded, w0, t_final=2.0)
+        assert np.allclose(t1.final_state, t2.final_state, atol=1e-12)
+        assert t1.n_switches == t2.n_switches
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            load_arch_benchmark('{"format": "something"}')
+
+    def test_dimension_mismatch_rejected(self, exported):
+        _case, _r, _system, text = exported
+        payload = json.loads(text)
+        payload["dimension"] = 99
+        with pytest.raises(ValueError):
+            load_arch_benchmark(json.dumps(payload))

@@ -1,0 +1,104 @@
+"""Tests for machine-checkable certificates (repro.robust.certificates)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exact import RationalMatrix
+from repro.robust import StabilityCertificate, certify_mode
+from repro.systems import AffineSystem, HalfSpace
+
+
+def simple_mode():
+    flow = AffineSystem([[-1.0, 4.0], [0.0, -1.0]], [0.0, 0.0])
+    halfspace = HalfSpace((1, 0), 1)
+    # P = diag(1, 5) is a genuine Lyapunov function for this A:
+    # A^T P + P A = [[-2, 4], [4, -10]] is negative definite.
+    p = RationalMatrix.diagonal([1, 5])
+    return flow, halfspace, p
+
+
+class TestCertifyMode:
+    def test_build_and_verify(self):
+        flow, halfspace, p = simple_mode()
+        certificate = certify_mode(
+            flow, halfspace, p, provenance={"method": "manual"}
+        )
+        assert certificate.verify()
+        assert certificate.k is not None
+        assert certificate.k > 0
+
+    def test_whole_region_certificate(self):
+        flow = AffineSystem([[-1.0, 0.0], [0.0, -1.0]], [0.0, 0.0])
+        certificate = certify_mode(
+            flow, HalfSpace((1, 0), 1), RationalMatrix.identity(2)
+        )
+        assert certificate.k is None  # no finite truncation
+        assert certificate.verify()
+
+    def test_json_roundtrip_is_exact(self):
+        flow, halfspace, p = simple_mode()
+        certificate = certify_mode(flow, halfspace, p)
+        text = certificate.to_json()
+        back = StabilityCertificate.from_json(text)
+        assert back.p == certificate.p
+        assert back.a == certificate.a
+        assert back.k == certificate.k
+        assert back.surface_normal == certificate.surface_normal
+        assert back.verify()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            StabilityCertificate.from_json('{"format": "something-else"}')
+
+    def test_tampered_p_fails_verification(self):
+        flow, halfspace, p = simple_mode()
+        certificate = certify_mode(flow, halfspace, p)
+        tampered = StabilityCertificate(
+            a=certificate.a,
+            p=RationalMatrix([[1, 2], [2, 1]]),  # indefinite
+            b=certificate.b,
+            surface_normal=certificate.surface_normal,
+            surface_offset=certificate.surface_offset,
+            k=certificate.k,
+        )
+        with pytest.raises(AssertionError):
+            tampered.verify()
+
+    def test_inflated_level_fails_verification(self):
+        flow, halfspace, p = simple_mode()
+        certificate = certify_mode(flow, halfspace, p)
+        inflated = StabilityCertificate(
+            a=certificate.a, p=certificate.p, b=certificate.b,
+            surface_normal=certificate.surface_normal,
+            surface_offset=certificate.surface_offset,
+            k=certificate.k * 4,  # claims more than the exact optimum
+        )
+        with pytest.raises(AssertionError):
+            inflated.verify()
+
+    def test_unstable_mode_fails(self):
+        certificate = StabilityCertificate(
+            a=RationalMatrix([[1]]), p=RationalMatrix([[1]])
+        )
+        with pytest.raises(AssertionError):
+            certificate.verify()
+
+    def test_engine_mode_certificate_end_to_end(self):
+        """Full pipeline: synthesize, round, certify, serialize, verify."""
+        from repro.engine import case_by_name
+        from repro.lyapunov import synthesize
+
+        case = case_by_name("size5")
+        system = case.switched_system(case.reference())
+        flow = system.modes[0].flow
+        halfspace = system.modes[0].region.halfspaces[0]
+        candidate = synthesize("lmi", case.mode_matrix(0), backend="ipm")
+        certificate = certify_mode(
+            flow, halfspace, candidate.exact_p(10),
+            provenance={"method": "lmi", "backend": "ipm", "case": case.name},
+        )
+        restored = StabilityCertificate.from_json(certificate.to_json())
+        assert restored.verify()
+        assert restored.provenance["case"] == "size5"

@@ -1,0 +1,152 @@
+"""Tests for the lazy DPLL(T) engine (repro.smt.dpll)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import And, Atom, Box, Not, Or, Relation, SmtSolver, SmtStatus, Var
+from repro.smt.dpll import DpllSolver, tseitin_cnf
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestTseitin:
+    def test_atom_only(self):
+        clauses, atoms, n = tseitin_cnf(x <= 0)
+        assert len(atoms) == 1
+        assert len(clauses) == 1  # the root unit clause
+
+    def test_shared_subformulas_reuse_variables(self):
+        atom = x <= 0
+        f = And((atom, Or((atom, y <= 0))))
+        _clauses, atoms, _n = tseitin_cnf(f)
+        # The repeated atom maps to ONE boolean variable.
+        assert len(atoms) == 2
+
+    def test_linear_size(self):
+        """CNF size grows linearly where DNF would blow up: CNF of
+        (a1 or b1) and ... and (ak or bk) stays small."""
+        k = 12
+        conjuncts = []
+        for i in range(k):
+            conjuncts.append(
+                Or((Var(f"a{i}") <= 0, Var(f"b{i}") <= 0))
+            )
+        clauses, atoms, n = tseitin_cnf(And(tuple(conjuncts)))
+        assert len(atoms) == 2 * k
+        assert len(clauses) < 10 * k  # DNF would have 2^k disjuncts
+
+    def test_not_handled_by_negated_literal(self):
+        clauses, atoms, _ = tseitin_cnf(Not(x <= 0))
+        assert len(atoms) == 1
+        # Root clause is the negated atom literal.
+        assert any(clause == (-1,) or clause == (-list(atoms)[0],) for clause in clauses)
+
+
+class TestDpllDecisions:
+    def test_linear_sat(self):
+        result = DpllSolver().check(And((x <= 1, x >= 0)))
+        assert result.is_sat
+        assert 0 <= result.model["x"] <= 1
+
+    def test_linear_unsat(self):
+        result = DpllSolver().check(And((x < 0, x > 0)))
+        assert result.is_unsat
+
+    def test_boolean_structure(self):
+        f = And((Or((x <= -1, x >= 1)), x >= 0, x <= 2))
+        result = DpllSolver().check(f)
+        assert result.is_sat
+        assert result.model["x"] >= 1
+
+    def test_blocking_clause_moves_past_theory_conflicts(self):
+        # First boolean model (x <= -1 branch) conflicts with x >= 0;
+        # DPLL must block it and find the other branch.
+        f = And((Or((x <= -1, x.eq(5))), x >= 0))
+        result = DpllSolver().check(f)
+        assert result.is_sat
+        assert result.model["x"] == 5
+
+    def test_nonlinear_with_box(self):
+        f = And(((x * x - 4).eq(0), x >= 0))
+        result = DpllSolver().check(f, Box.cube(["x"], -5.0, 5.0))
+        assert result.status in (SmtStatus.SAT, SmtStatus.DELTA_SAT)
+
+    def test_pure_boolean_true(self):
+        from repro.smt import TRUE
+
+        assert DpllSolver().check(TRUE).is_sat
+
+    def test_pure_boolean_false(self):
+        from repro.smt import FALSE
+
+        assert DpllSolver().check(FALSE).is_unsat
+
+    def test_deep_nesting(self):
+        f = Not(Or((Not(x <= 0), And((y <= 0, Not(y <= 0))))))
+        # equivalent to: x <= 0 and not(y<=0 and y>0) = x <= 0.
+        result = DpllSolver().check(f)
+        assert result.is_sat
+        assert result.model["x"] <= 0
+
+
+def random_formulas():
+    """Small random formulas over 3 variables with linear atoms."""
+    atoms = st.builds(
+        lambda c1, c2, c0, strict: Atom(
+            c1 * x + c2 * y + c0, Relation.LT if strict else Relation.LE
+        ),
+        st.integers(-3, 3),
+        st.integers(-3, 3),
+        st.integers(-4, 4),
+        st.booleans(),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestEquivalenceWithDnfEngine:
+    @settings(max_examples=60, deadline=None)
+    @given(random_formulas())
+    def test_same_verdict_as_dnf(self, formula):
+        dnf_result = SmtSolver().check(formula)
+        dpll_result = DpllSolver().check(formula)
+        assert dpll_result.status == dnf_result.status
+        if dpll_result.is_sat:
+            # Models may differ; both must satisfy the formula — checked
+            # by evaluating through the exact polynomial layer.
+            from repro.smt.terms import poly_eval, polynomial_of
+            from fractions import Fraction
+
+            def holds(f, model):
+                if isinstance(f, Atom):
+                    from repro.smt.terms import poly_free_vars
+
+                    poly = polynomial_of(f.lhs)
+                    complete = {
+                        v: model.get(v, Fraction(0))
+                        for v in poly_free_vars(poly)
+                    }
+                    value = poly_eval(poly, complete)
+                    return {
+                        Relation.LE: value <= 0,
+                        Relation.LT: value < 0,
+                        Relation.EQ: value == 0,
+                        Relation.NE: value != 0,
+                    }[f.relation]
+                if isinstance(f, And):
+                    return all(holds(a, model) for a in f.args)
+                if isinstance(f, Or):
+                    return any(holds(a, model) for a in f.args)
+                if isinstance(f, Not):
+                    return not holds(f.arg, model)
+                return f.value
+
+            assert holds(formula, dpll_result.model)

@@ -1,0 +1,153 @@
+"""Tests for RationalMatrix (repro.exact.matrix)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exact import RationalMatrix
+
+entries = st.integers(min_value=-50, max_value=50)
+
+
+def square_matrices(n_max=4):
+    return st.integers(min_value=1, max_value=n_max).flatmap(
+        lambda n: st.lists(
+            st.lists(entries, min_size=n, max_size=n), min_size=n, max_size=n
+        ).map(RationalMatrix)
+    )
+
+
+class TestConstruction:
+    def test_shape(self):
+        m = RationalMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+
+    def test_entries_are_fractions(self):
+        m = RationalMatrix([["0.5", 1]])
+        assert m[0, 0] == Fraction(1, 2)
+        assert isinstance(m[0, 1], Fraction)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([])
+
+    def test_identity_and_zeros(self):
+        assert RationalMatrix.identity(2) == RationalMatrix([[1, 0], [0, 1]])
+        assert RationalMatrix.zeros(2, 3).is_zero()
+
+    def test_diagonal(self):
+        d = RationalMatrix.diagonal([1, 2, 3])
+        assert d[1, 1] == 2 and d[0, 1] == 0
+
+    def test_from_numpy_roundtrip(self):
+        a = np.array([[0.25, -1.5], [3.0, 0.0]])
+        m = RationalMatrix.from_numpy(a)
+        assert m[0, 0] == Fraction(1, 4)
+        assert np.array_equal(m.to_numpy(), a)
+
+    def test_from_numpy_1d_becomes_column(self):
+        m = RationalMatrix.from_numpy(np.array([1.0, 2.0]))
+        assert m.shape == (2, 1)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        b = RationalMatrix([[4, 3], [2, 1]])
+        assert a + b == RationalMatrix([[5, 5], [5, 5]])
+        assert (a + b) - b == a
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1]]) + RationalMatrix([[1, 2]])
+
+    def test_matmul(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        b = RationalMatrix([[0, 1], [1, 0]])
+        assert a @ b == RationalMatrix([[2, 1], [4, 3]])
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1, 2]]) @ RationalMatrix([[1, 2]])
+
+    def test_scale(self):
+        assert RationalMatrix([[2, 4]]).scale("1/2") == RationalMatrix([[1, 2]])
+        assert 2 * RationalMatrix([[1]]) == RationalMatrix([[2]])
+
+    def test_neg(self):
+        assert -RationalMatrix([[1, -2]]) == RationalMatrix([[-1, 2]])
+
+    def test_trace(self):
+        assert RationalMatrix([[1, 9], [9, 2]]).trace() == 3
+
+    def test_quadratic_form(self):
+        p = RationalMatrix([[2, 0], [0, 3]])
+        assert p.quadratic_form([1, 2]) == 2 + 12
+
+    def test_dot(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m.dot([1, 1]) == [3, 7]
+
+    @given(square_matrices(), square_matrices())
+    def test_transpose_antihomomorphism(self, a, b):
+        if a.cols == b.rows:
+            assert (a @ b).T == b.T @ a.T
+
+    @given(square_matrices())
+    def test_identity_neutral(self, m):
+        eye = RationalMatrix.identity(m.rows)
+        assert eye @ m == m and m @ eye == m
+
+
+class TestStructure:
+    def test_leading_principal(self):
+        m = RationalMatrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.leading_principal(2) == RationalMatrix([[1, 2], [4, 5]])
+        with pytest.raises(ValueError):
+            m.leading_principal(4)
+
+    def test_stacking(self):
+        a = RationalMatrix([[1], [2]])
+        b = RationalMatrix([[3], [4]])
+        assert a.hstack(b) == RationalMatrix([[1, 3], [2, 4]])
+        assert a.vstack(b) == RationalMatrix([[1], [2], [3], [4]])
+
+    def test_stack_mismatch(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1]]).hstack(RationalMatrix([[1], [2]]))
+
+    def test_symmetrize(self):
+        m = RationalMatrix([[0, 2], [0, 0]]).symmetrize()
+        assert m == RationalMatrix([[0, 1], [1, 0]])
+        assert m.is_symmetric()
+
+    def test_is_symmetric(self):
+        assert RationalMatrix([[1, 5], [5, 2]]).is_symmetric()
+        assert not RationalMatrix([[1, 5], [4, 2]]).is_symmetric()
+        assert not RationalMatrix([[1, 2]]).is_symmetric()
+
+    def test_round_sigfigs(self):
+        m = RationalMatrix([["1.23456", "0"]]).round_sigfigs(3)
+        assert m == RationalMatrix([["1.23", 0]])
+
+    def test_max_abs(self):
+        assert RationalMatrix([[1, -7], [3, 2]]).max_abs() == 7
+
+    def test_hash_eq(self):
+        a = RationalMatrix([[1, 2]])
+        b = RationalMatrix([["1", "2"]])
+        assert a == b and hash(a) == hash(b)
+        assert a != RationalMatrix([[1, 3]])
+        assert (a == "nope") is False
+
+    def test_repr_small_and_large(self):
+        assert "1 2" in repr(RationalMatrix([[1, 2]]))
+        big = RationalMatrix.zeros(10, 10)
+        assert repr(big) == "RationalMatrix(10x10)"

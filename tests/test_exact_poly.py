@@ -1,0 +1,137 @@
+"""Tests for charpoly and Routh--Hurwitz (repro.exact.poly)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import (
+    RationalMatrix,
+    charpoly,
+    is_hurwitz_matrix,
+    is_hurwitz_polynomial,
+    poly_eval,
+    routh_table,
+)
+
+entries = st.integers(min_value=-10, max_value=10)
+
+
+def square(n):
+    return st.lists(
+        st.lists(entries, min_size=n, max_size=n), min_size=n, max_size=n
+    ).map(RationalMatrix)
+
+
+class TestCharpoly:
+    def test_2x2(self):
+        # det(sI - [[1,2],[3,4]]) = s^2 - 5s - 2
+        assert charpoly(RationalMatrix([[1, 2], [3, 4]])) == [
+            Fraction(1),
+            Fraction(-5),
+            Fraction(-2),
+        ]
+
+    def test_diagonal(self):
+        # (s-1)(s-2) = s^2 - 3 s + 2
+        assert charpoly(RationalMatrix.diagonal([1, 2])) == [1, -3, 2]
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            charpoly(RationalMatrix([[1, 2]]))
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=4).flatmap(square))
+    def test_cayley_hamilton(self, m):
+        """A matrix annihilates its own characteristic polynomial."""
+        coeffs = charpoly(m)
+        acc = RationalMatrix.zeros(m.rows, m.rows)
+        power = RationalMatrix.identity(m.rows)
+        for c in reversed(coeffs):
+            acc = acc + power.scale(c)
+            power = power @ m
+        assert acc.is_zero()
+
+    @settings(max_examples=30)
+    @given(square(3))
+    def test_constant_term_is_det_sign(self, m):
+        from repro.exact import bareiss_determinant
+
+        coeffs = charpoly(m)
+        assert coeffs[-1] == -bareiss_determinant(m) * (-1) ** (m.rows + 1)
+
+
+class TestPolyEval:
+    def test_horner(self):
+        assert poly_eval([1, -5, -2], 6) == 36 - 30 - 2
+
+    def test_empty_is_zero(self):
+        assert poly_eval([], 3) == 0
+
+
+class TestRouth:
+    def test_stable_quadratic(self):
+        assert is_hurwitz_polynomial([1, 3, 2])  # roots -1, -2
+
+    def test_unstable_quadratic(self):
+        assert not is_hurwitz_polynomial([1, -3, 2])  # roots 1, 2
+
+    def test_marginal(self):
+        assert not is_hurwitz_polynomial([1, 0, 1])  # roots +-i
+
+    def test_classic_cubic(self):
+        # s^3 + s^2 + 2 s + 8: Routh first column goes negative.
+        assert not is_hurwitz_polynomial([1, 1, 2, 8])
+        assert is_hurwitz_polynomial([1, 6, 11, 6])  # (s+1)(s+2)(s+3)
+
+    def test_negative_leading_normalized(self):
+        assert is_hurwitz_polynomial([-1, -3, -2])
+
+    def test_degree_zero(self):
+        assert is_hurwitz_polynomial([5])
+
+    def test_zero_leading_raises(self):
+        with pytest.raises(ValueError):
+            is_hurwitz_polynomial([0, 1])
+        with pytest.raises(ValueError):
+            is_hurwitz_polynomial([])
+
+    def test_routh_table_shape(self):
+        table = routh_table([1, 6, 11, 6])
+        assert len(table) == 4
+        assert [row[0] for row in table] == [1, 6, 10, 6]
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=5))
+    def test_product_of_stable_linear_factors(self, roots):
+        """prod (s + r) with r > 0 is always Hurwitz."""
+        coeffs = [Fraction(1)]
+        for r in roots:
+            new = [Fraction(0)] * (len(coeffs) + 1)
+            for i, c in enumerate(coeffs):
+                new[i] += c
+                new[i + 1] += c * r
+            coeffs = new
+        assert is_hurwitz_polynomial(coeffs)
+
+
+class TestHurwitzMatrix:
+    def test_stable(self):
+        assert is_hurwitz_matrix(RationalMatrix([[-1, 0], [0, -2]]))
+
+    def test_unstable(self):
+        assert not is_hurwitz_matrix(RationalMatrix([[1, 0], [0, -2]]))
+
+    def test_rotation_is_marginal(self):
+        assert not is_hurwitz_matrix(RationalMatrix([[0, 1], [-1, 0]]))
+
+    @settings(max_examples=20)
+    @given(square(3))
+    def test_agrees_with_numpy_eigenvalues(self, m):
+        eig = np.linalg.eigvals(m.to_numpy())
+        margin = float(np.max(eig.real))
+        if abs(margin) < 1e-9:
+            return  # too close to the axis for float ground truth
+        assert is_hurwitz_matrix(m) == (margin < 0)

@@ -1,0 +1,114 @@
+"""Tests for exact scalar utilities (repro.exact.rational)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exact import (
+    decimal_exponent,
+    fraction_to_float,
+    round_sigfigs,
+    round_to_int,
+    to_fraction,
+)
+
+nonzero_fractions = st.fractions(
+    min_value=Fraction(-10**9), max_value=Fraction(10**9), max_denominator=10**6
+).filter(lambda q: q != 0)
+
+
+class TestToFraction:
+    def test_int(self):
+        assert to_fraction(7) == Fraction(7)
+
+    def test_fraction_passthrough(self):
+        q = Fraction(3, 7)
+        assert to_fraction(q) is q
+
+    def test_float_is_exact_binary(self):
+        assert to_fraction(0.5) == Fraction(1, 2)
+        assert to_fraction(0.1) != Fraction(1, 10)  # binary 0.1 is not 1/10
+
+    def test_string_is_decimal(self):
+        assert to_fraction("0.1") == Fraction(1, 10)
+        assert to_fraction("-3/4") == Fraction(-3, 4)
+
+    def test_numpy_scalar(self):
+        import numpy as np
+
+        assert to_fraction(np.float64(0.25)) == Fraction(1, 4)
+        assert to_fraction(np.int64(-3)) == Fraction(-3)
+
+    def test_rejects_complex(self):
+        with pytest.raises(TypeError):
+            to_fraction(1 + 2j)
+
+
+class TestDecimalExponent:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (Fraction(1), 0),
+            (Fraction(9), 0),
+            (Fraction(10), 1),
+            (Fraction(99, 10), 0),
+            (Fraction(1, 10), -1),
+            (Fraction(1, 1000), -3),
+            (Fraction(-12345), 4),
+        ],
+    )
+    def test_known_values(self, value, expected):
+        assert decimal_exponent(value) == expected
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            decimal_exponent(Fraction(0))
+
+    @given(nonzero_fractions)
+    def test_defining_property(self, q):
+        e = decimal_exponent(q)
+        assert Fraction(10) ** e <= abs(q) < Fraction(10) ** (e + 1)
+
+
+class TestRoundSigfigs:
+    def test_exact_cases(self):
+        assert round_sigfigs(Fraction(12345), 2) == Fraction(12000)
+        assert round_sigfigs(Fraction(12345), 3) == Fraction(12300)
+        assert round_sigfigs(Fraction("0.0012349"), 3) == Fraction("0.00123")
+
+    def test_zero(self):
+        assert round_sigfigs(Fraction(0), 4) == 0
+
+    def test_negative(self):
+        assert round_sigfigs(Fraction(-987654), 2) == Fraction(-990000)
+
+    def test_half_even(self):
+        assert round_sigfigs(Fraction(125), 2) == Fraction(120)
+        assert round_sigfigs(Fraction(135), 2) == Fraction(140)
+
+    def test_invalid_sigfigs(self):
+        with pytest.raises(ValueError):
+            round_sigfigs(Fraction(1), 0)
+
+    @given(nonzero_fractions, st.integers(min_value=1, max_value=12))
+    def test_relative_error_bound(self, q, n):
+        rounded = round_sigfigs(q, n)
+        assert abs(rounded - q) <= abs(q) * Fraction(1, 10 ** (n - 1))
+
+    @given(nonzero_fractions, st.integers(min_value=1, max_value=10))
+    def test_idempotent(self, q, n):
+        once = round_sigfigs(q, n)
+        if once != 0:
+            assert round_sigfigs(once, n) == once
+
+
+class TestSmallHelpers:
+    def test_round_to_int(self):
+        assert round_to_int(Fraction(5, 2)) == 2  # half-even
+        assert round_to_int(Fraction(7, 2)) == 4
+        assert round_to_int(2.3) == 2
+
+    def test_fraction_to_float(self):
+        assert fraction_to_float(Fraction(1, 4)) == 0.25

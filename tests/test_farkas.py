@@ -1,0 +1,119 @@
+"""Tests for Farkas infeasibility certificates (repro.smt.linear)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import LinearConstraint, Relation, Var, solve_linear
+from repro.smt.linear import check_farkas_certificate
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def constraints(*atoms):
+    return [LinearConstraint.from_atom(a) for a in atoms]
+
+
+class TestCertificateProduction:
+    def test_simple_unsat_carries_certificate(self):
+        cs = constraints(x <= 0, (1 - x) <= 0)
+        result = solve_linear(cs)
+        assert not result.satisfiable
+        assert check_farkas_certificate(cs, result.farkas)
+
+    def test_strict_contradiction(self):
+        cs = constraints(x < 0, Var("x") > 0)
+        result = solve_linear(cs)
+        assert not result.satisfiable
+        assert check_farkas_certificate(cs, result.farkas)
+
+    def test_equality_chain_contradiction(self):
+        cs = constraints(x.eq(1), y.eq(x + 1), y <= 1)
+        result = solve_linear(cs)
+        assert not result.satisfiable
+        assert check_farkas_certificate(cs, result.farkas)
+
+    def test_pure_equality_contradiction(self):
+        cs = constraints(x.eq(1), x.eq(2))
+        result = solve_linear(cs)
+        assert not result.satisfiable
+        assert check_farkas_certificate(cs, result.farkas)
+
+    def test_sat_has_no_certificate(self):
+        result = solve_linear(constraints(x <= 5))
+        assert result.satisfiable
+        assert result.farkas is None
+
+    def test_three_variable_cycle(self):
+        cs = constraints((x - y) <= -1, (y - z) <= -1, (z - x) <= -1)
+        result = solve_linear(cs)
+        assert not result.satisfiable
+        assert check_farkas_certificate(cs, result.farkas)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-4, 4),
+                st.integers(-4, 4),
+                st.integers(-6, 6),
+                st.sampled_from(["<=", "<", "="]),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_every_unsat_verdict_is_certified(self, rows):
+        """Soundness property: whenever FM reports UNSAT, the returned
+        Farkas combination must check out independently."""
+        atoms = []
+        for a, b, c, op in rows:
+            lhs = a * x + b * y + c
+            if op == "<=":
+                atoms.append(lhs <= 0)
+            elif op == "<":
+                atoms.append(lhs < 0)
+            else:
+                atoms.append(lhs.eq(0))
+        cs = constraints(*atoms)
+        result = solve_linear(cs)
+        if not result.satisfiable:
+            assert result.farkas is not None
+            assert check_farkas_certificate(cs, result.farkas)
+
+
+class TestCertificateChecker:
+    def test_rejects_empty(self):
+        assert not check_farkas_certificate(constraints(x <= 0), {})
+
+    def test_rejects_negative_multiplier_on_inequality(self):
+        cs = constraints(x <= 0, (1 - x) <= 0)
+        assert not check_farkas_certificate(cs, {0: Fraction(-1), 1: Fraction(1)})
+
+    def test_rejects_out_of_range_index(self):
+        cs = constraints(x <= 0)
+        assert not check_farkas_certificate(cs, {5: Fraction(1)})
+
+    def test_rejects_uncancelled_variables(self):
+        cs = constraints(x <= 0, (1 - y) <= 0)
+        assert not check_farkas_certificate(cs, {0: Fraction(1), 1: Fraction(1)})
+
+    def test_rejects_nonpositive_constant(self):
+        cs = constraints(x <= 0, -x <= 0)  # feasible at x=0
+        # combination cancels x and gives constant 0 without strictness
+        assert not check_farkas_certificate(cs, {0: Fraction(1), 1: Fraction(1)})
+
+    def test_accepts_strict_zero_combination(self):
+        cs = constraints(x < 0, Var("x") > 0)
+        # x < 0 and -x < 0 sum to 0 < 0.
+        assert check_farkas_certificate(cs, {0: Fraction(1), 1: Fraction(1)})
+
+    def test_free_multiplier_on_equality(self):
+        cs = [
+            LinearConstraint((("x", Fraction(1)),), Fraction(-1), Relation.EQ),
+            LinearConstraint((("x", Fraction(1)),), Fraction(-3), Relation.EQ),
+        ]
+        # (x - 1) - (x - 3) = 2 > 0 with a negative equality multiplier.
+        assert check_farkas_certificate(cs, {0: Fraction(1), 1: Fraction(-1)})

@@ -1,0 +1,158 @@
+"""Tests for failure injection (repro.engine.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import build_engine_plant, nominal_reference
+from repro.engine.faults import (
+    Fault,
+    apply_fault,
+    bias_shifts_equilibrium,
+    fault_margin,
+    stability_under_fault,
+)
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return build_engine_plant()
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fault("melting", 0, 0.1)
+        with pytest.raises(ValueError):
+            Fault("sensor-gain", 0, 1.5)
+        # bias severities are unbounded offsets
+        Fault("sensor-bias", 0, 7.0)
+
+    def test_actuator_fault_scales_b(self, plant):
+        faulted = apply_fault(plant, Fault("actuator-effectiveness", 0, 0.5))
+        assert np.allclose(faulted.b[:, 0], 0.5 * plant.b[:, 0])
+        assert np.allclose(faulted.b[:, 1:], plant.b[:, 1:])
+        assert np.allclose(faulted.a, plant.a)
+
+    def test_sensor_fault_scales_c(self, plant):
+        faulted = apply_fault(plant, Fault("sensor-gain", 2, 0.25))
+        assert np.allclose(faulted.c[2, :], 0.75 * plant.c[2, :])
+        assert np.allclose(faulted.c[0, :], plant.c[0, :])
+
+    def test_bias_leaves_structure(self, plant):
+        faulted = apply_fault(plant, Fault("sensor-bias", 1, 3.0))
+        assert faulted is plant
+
+    def test_channel_range_checked(self, plant):
+        with pytest.raises(ValueError):
+            apply_fault(plant, Fault("actuator-effectiveness", 3, 0.1))
+        with pytest.raises(ValueError):
+            apply_fault(plant, Fault("sensor-gain", 4, 0.1))
+
+
+class TestStabilityUnderFault:
+    def test_nominal_is_stable(self, plant):
+        abscissas = stability_under_fault(
+            plant, Fault("actuator-effectiveness", 0, 0.0)
+        )
+        assert all(value < 0 for value in abscissas.values())
+
+    def test_total_fuel_actuator_loss_leaves_integrator_pole(self, plant):
+        """Killing the fuel channel disconnects its PI integrator: a pole
+        lands at the origin (marginally stable, not Hurwitz)."""
+        abscissas = stability_under_fault(
+            plant, Fault("actuator-effectiveness", 0, 1.0)
+        )
+        assert max(abscissas.values()) >= -1e-9
+
+    def test_small_faults_tolerated(self, plant):
+        for kind, channel in (
+            ("actuator-effectiveness", 0),
+            ("actuator-effectiveness", 1),
+            ("sensor-gain", 0),
+            ("sensor-gain", 2),
+        ):
+            abscissas = stability_under_fault(plant, Fault(kind, channel, 0.1))
+            assert max(abscissas.values()) < 0, (kind, channel)
+
+
+class TestFaultMargin:
+    def test_margin_is_meaningful(self, plant):
+        margin = fault_margin(plant, "actuator-effectiveness", 0)
+        assert 0.1 < margin <= 1.0
+        # just below the margin: stable; at the extreme: not
+        below = stability_under_fault(
+            plant, Fault("actuator-effectiveness", 0, margin * 0.95)
+        )
+        assert max(below.values()) < 0
+
+    def test_bias_rejected(self, plant):
+        with pytest.raises(ValueError):
+            fault_margin(plant, "sensor-bias", 0)
+
+    def test_unstable_nominal_rejected(self):
+        from repro.systems import StateSpace
+
+        bad = StateSpace(
+            np.eye(18) * 1.0,
+            np.ones((18, 3)),
+            np.ones((4, 18)),
+        )
+        with pytest.raises(ValueError):
+            fault_margin(bad, "actuator-effectiveness", 0)
+
+
+class TestBiasAnalysis:
+    def test_bias_moves_equilibrium_linearly(self, plant):
+        r = nominal_reference(plant)
+        shift1 = bias_shifts_equilibrium(plant, 0, 0, 0.1, r)
+        shift2 = bias_shifts_equilibrium(plant, 0, 0, 0.2, r)
+        assert np.allclose(2.0 * shift1, shift2, rtol=1e-8)
+        assert np.linalg.norm(shift1) > 0
+
+    def test_bias_on_untracked_channel_mode0(self, plant):
+        """Mode 0 ignores y1 (no gain on that error): a y1 bias moves
+        nothing."""
+        r = nominal_reference(plant)
+        shift = bias_shifts_equilibrium(plant, 0, 1, 0.5, r)
+        assert np.linalg.norm(shift) == pytest.approx(0.0, abs=1e-10)
+
+    def test_bias_vs_robust_epsilon(self, plant):
+        """A bias below the verified epsilon keeps the shifted equilibrium
+        within the robust region's guarantees (consistency of the two
+        analyses on the size-10 benchmark)."""
+        from repro.engine import case_by_name, mode_gains
+        from repro.exact import RationalMatrix, solve_vector, to_fraction
+        from repro.lyapunov import synthesize
+        from repro.robust import (
+            EpsilonInputs,
+            epsilon_radius,
+            surface_geometry,
+            synthesize_robust_level,
+        )
+        from repro.systems import closed_loop_matrices
+
+        case = case_by_name("size10")
+        r = case.reference()
+        system = case.switched_system(r)
+        flow = system.modes[0].flow
+        halfspace = system.modes[0].region.halfspaces[0]
+        candidate = synthesize("lmi", case.mode_matrix(0), backend="ipm")
+        region = synthesize_robust_level(flow, halfspace, candidate.exact_p(10))
+        w_eq = solve_vector(
+            RationalMatrix.from_numpy(flow.a),
+            [-to_fraction(x) for x in flow.b.tolist()],
+        )
+        _, b_cl = closed_loop_matrices(case.plant, mode_gains(0))
+        eps = epsilon_radius(
+            EpsilonInputs(
+                flow_a=flow.a, b_cl=b_cl, p=candidate.p, k=region.k_float(),
+                w_eq=np.array([float(x) for x in w_eq]),
+                geometry=surface_geometry(halfspace, flow),
+            )
+        )
+        # A reference perturbation of size eps moves the equilibrium by
+        # at most beta*eps, which stays inside the robust region.
+        bias = 0.9 * eps
+        shift = bias_shifts_equilibrium(case.plant, 0, 0, bias, r)
+        beta = float(np.linalg.norm(np.linalg.solve(flow.a, b_cl), 2))
+        assert np.linalg.norm(shift) <= beta * bias * (1 + 1e-6)

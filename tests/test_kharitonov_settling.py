@@ -1,0 +1,163 @@
+"""Tests for Kharitonov robust stability and settling-time bounds."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exact.kharitonov import (
+    interval_polynomial_is_hurwitz,
+    kharitonov_polynomials,
+    stability_radius_coefficients,
+)
+from repro.lyapunov import synthesize
+from repro.lyapunov.settling import (
+    SettlingBound,
+    settling_bound,
+    verify_decay_rate_exact,
+)
+
+
+class TestKharitonov:
+    def test_four_corners(self):
+        corners = kharitonov_polynomials([1, 1, 1], [2, 2, 2])
+        assert len(corners) == 4
+        for corner in corners:
+            assert all(Fraction(1) <= c <= Fraction(2) for c in corner)
+        # All four corner patterns are distinct for a generic box.
+        assert len({tuple(c) for c in corners}) == 4
+
+    def test_degenerate_point_interval(self):
+        corners = kharitonov_polynomials([1, 3, 2], [1, 3, 2])
+        assert all(corner == [1, 3, 2] for corner in corners)
+
+    def test_stable_family(self):
+        # (s+1)(s+2) = s^2 + 3s + 2 with small wiggle: stays Hurwitz.
+        assert interval_polynomial_is_hurwitz(
+            ["0.9", "2.7", "1.8"], ["1.1", "3.3", "2.2"]
+        )
+
+    def test_unstable_corner_detected(self):
+        # Intervals permitting a sign change in a coefficient.
+        assert not interval_polynomial_is_hurwitz([1, -1, 2], [1, 4, 2])
+
+    def test_degree_drop_rejected(self):
+        assert not interval_polynomial_is_hurwitz([0, 1, 1], [1, 1, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kharitonov_polynomials([1, 2], [1])
+        with pytest.raises(ValueError):
+            kharitonov_polynomials([2], [1])
+        with pytest.raises(ValueError):
+            kharitonov_polynomials([], [])
+
+    def test_sampled_family_members_inherit_stability(self):
+        """Property: if the Kharitonov test passes, random members of
+        the family are Hurwitz (numeric spot check)."""
+        lower = [Fraction(9, 10), Fraction(54, 10), Fraction(99, 10), Fraction(54, 10)]
+        upper = [Fraction(11, 10), Fraction(66, 10), Fraction(121, 10), Fraction(66, 10)]
+        assert interval_polynomial_is_hurwitz(lower, upper)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            coefficients = [
+                float(lo) + rng.uniform() * float(hi - lo)
+                for lo, hi in zip(lower, upper)
+            ]
+            roots = np.roots(coefficients)
+            assert roots.real.max() < 0
+
+    def test_stability_radius(self):
+        # (s+1)(s+2)(s+3): comfortably robust.
+        rho = stability_radius_coefficients([1, 6, 11, 6])
+        assert rho > Fraction(1, 10)
+        # Perturbing beyond the radius (times a safety factor) can break:
+        assert not interval_polynomial_is_hurwitz(
+            [c * (1 - (rho * 2)) for c in (1, 6, 11, 6)],
+            [c * (1 + (rho * 2)) for c in (1, 6, 11, 6)],
+        ) or rho * 2 > 10
+
+    def test_stability_radius_unstable_nominal(self):
+        assert stability_radius_coefficients([1, -1, 1]) == 0
+
+    def test_engine_closed_loop_coefficient_radius(self):
+        """Exact robust-stability radius of the size-3 closed loop's
+        characteristic polynomial."""
+        from repro.engine import case_by_name
+        from repro.exact import RationalMatrix, charpoly
+
+        a = RationalMatrix.from_numpy(case_by_name("size3i").mode_matrix(0))
+        coefficients = charpoly(a)
+        rho = stability_radius_coefficients(coefficients)
+        assert rho > 0
+
+
+class TestSettlingBound:
+    @pytest.fixture(scope="class")
+    def mode0(self):
+        from repro.engine import case_by_name
+
+        case = case_by_name("size5")
+        a = case.mode_matrix(0)
+        candidate = synthesize("lmi-alpha", a)
+        return a, candidate
+
+    def test_envelope_monotone(self, mode0):
+        a, candidate = mode0
+        bound = settling_bound(candidate, a)
+        assert bound.alpha > 0
+        assert bound.condition_number >= 1
+        assert bound.envelope(1.0, 0.0) >= 1.0
+        assert bound.envelope(1.0, 10.0) < bound.envelope(1.0, 1.0)
+
+    def test_settling_time_properties(self, mode0):
+        a, candidate = mode0
+        bound = settling_bound(candidate, a)
+        t = bound.settling_time(initial_distance=1.0, radius=1e-3)
+        assert t > 0
+        assert bound.envelope(1.0, t) <= 1e-3 * (1 + 1e-9)
+        assert bound.settling_time(0.0, 1e-3) == 0.0
+        with pytest.raises(ValueError):
+            bound.settling_time(1.0, 0.0)
+
+    def test_envelope_dominates_simulation(self, mode0):
+        """The certified envelope must upper-bound a real trajectory."""
+        from repro.engine import case_by_name
+        from repro.systems import simulate_affine
+
+        case = case_by_name("size5")
+        system = case.switched_system(case.reference())
+        flow = system.modes[0].flow
+        a, candidate = mode0
+        bound = settling_bound(candidate, a)
+        w_eq = flow.equilibrium()
+        rng = np.random.default_rng(4)
+        w0 = w_eq + rng.normal(scale=0.05, size=len(w_eq))
+        d0 = float(np.linalg.norm(w0 - w_eq))
+        trajectory = simulate_affine(flow, w0, t_final=3.0)
+        for t, state in zip(trajectory.times[::25], trajectory.states[::25]):
+            assert np.linalg.norm(state - w_eq) <= bound.envelope(d0, t) + 1e-9
+
+    def test_alpha_from_pencil_when_unannotated(self, mode0):
+        a, _ = mode0
+        candidate = synthesize("eq-num", a)  # no alpha annotation
+        bound = settling_bound(candidate, a)
+        assert bound.alpha > 0
+
+    def test_exact_decay_verification(self, mode0):
+        a, candidate = mode0
+        alpha = candidate.info["alpha"]
+        assert verify_decay_rate_exact(candidate, a, Fraction(alpha).limit_denominator(10**6))
+        # Double the rate: must fail (alpha was chosen at half the true
+        # decay rate, so 2x sits exactly at the limit; 4x is surely out).
+        assert not verify_decay_rate_exact(
+            candidate, a, 4 * Fraction(alpha).limit_denominator(10**6)
+        )
+
+    def test_not_pd_rejected(self, mode0):
+        from repro.lyapunov import LyapunovCandidate
+
+        a, _ = mode0
+        bogus = LyapunovCandidate(-np.eye(a.shape[0]), method="x")
+        with pytest.raises(ValueError):
+            settling_bound(bogus, a)

@@ -1,0 +1,179 @@
+"""Tests for the Lyapunov synthesis methods (repro.lyapunov)."""
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+from repro.exact import RationalMatrix, sylvester_positive_definite
+from repro.lyapunov import (
+    LMI_METHODS,
+    METHODS,
+    LyapunovCandidate,
+    SynthesisTimeout,
+    default_alpha,
+    modal_lyapunov,
+    solve_lyapunov_exact,
+    solve_lyapunov_numeric,
+    synthesize,
+)
+
+
+def stable_matrix(n, seed=0, margin=0.5):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a - (np.linalg.eigvals(a).real.max() + margin) * np.eye(n)
+
+
+def is_valid_lyapunov(p, a, tol=1e-9):
+    return (
+        np.linalg.eigvalsh(p).min() > tol
+        and np.linalg.eigvalsh(a.T @ p + p @ a).max() < -tol
+    )
+
+
+class TestCandidate:
+    def test_symmetrizes(self):
+        c = LyapunovCandidate(np.array([[1.0, 2.0], [0.0, 1.0]]), method="x")
+        assert np.allclose(c.p, [[1.0, 1.0], [1.0, 1.0]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            LyapunovCandidate(np.ones((2, 3)), method="x")
+
+    def test_value(self):
+        c = LyapunovCandidate(np.diag([2.0, 3.0]), method="x")
+        assert c.value([1.0, 1.0]) == pytest.approx(5.0)
+        assert c.value([2.0, 1.0], center=[1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_lie_matrix(self):
+        a = np.array([[-1.0, 0.0], [0.0, -2.0]])
+        c = LyapunovCandidate(np.eye(2), method="x")
+        assert np.allclose(c.lie_matrix(a), [[-2.0, 0.0], [0.0, -4.0]])
+
+    def test_exact_p_rounding(self):
+        c = LyapunovCandidate(np.array([[1.23456789012345]]), method="x")
+        exact = c.exact_p(sigfigs=3)
+        assert exact[0, 0] == Fraction(123, 100)
+        unrounded = c.exact_p(sigfigs=None)
+        assert float(unrounded[0, 0]) == 1.23456789012345
+
+    def test_label_and_eigrange(self):
+        c = LyapunovCandidate(np.eye(2), method="lmi", backend="ipm")
+        assert c.label == "lmi/ipm"
+        assert c.eigenvalue_range() == (1.0, 1.0)
+
+
+class TestEquationSolvers:
+    def test_numeric_solves_equation(self):
+        a = stable_matrix(5, seed=1)
+        p = solve_lyapunov_numeric(a)
+        assert np.allclose(a.T @ p + p @ a, -np.eye(5), atol=1e-8)
+
+    def test_numeric_custom_q(self):
+        a = stable_matrix(3, seed=2)
+        q = np.diag([1.0, 2.0, 3.0])
+        p = solve_lyapunov_numeric(a, q)
+        assert np.allclose(a.T @ p + p @ a, -q, atol=1e-8)
+
+    def test_exact_solves_equation(self):
+        a = RationalMatrix([[-2, 1], [0, -3]])
+        p = solve_lyapunov_exact(a)
+        residual = a.T @ p + p @ a + RationalMatrix.identity(2)
+        assert residual.is_zero()
+        assert p.is_symmetric()
+        assert sylvester_positive_definite(p)
+
+    def test_exact_matches_numeric(self):
+        a_int = [[-3, 1, 0], [0, -2, 1], [1, 0, -4]]
+        p_exact = solve_lyapunov_exact(RationalMatrix(a_int))
+        p_num = solve_lyapunov_numeric(np.array(a_int, dtype=float))
+        assert np.allclose(p_exact.to_numpy(), p_num, atol=1e-9)
+
+    def test_exact_matches_sympy(self):
+        import sympy
+
+        a_int = [[-2, 1], [1, -3]]
+        p = solve_lyapunov_exact(RationalMatrix(a_int))
+        a_sym = sympy.Matrix(a_int)
+        p_sym = sympy.Matrix(2, 2, lambda i, j: sympy.Rational(
+            p[i, j].numerator, p[i, j].denominator))
+        assert (a_sym.T * p_sym + p_sym * a_sym + sympy.eye(2)).is_zero_matrix
+
+    def test_exact_timeout(self):
+        a = RationalMatrix.from_numpy(stable_matrix(10, seed=3))
+        with pytest.raises(SynthesisTimeout):
+            solve_lyapunov_exact(a, deadline=1e-4)
+
+    def test_exact_singular_operator(self):
+        # A and -A share eigenvalues (eig +-1): Lyapunov operator singular.
+        a = RationalMatrix([[1, 0], [0, -1]])
+        with pytest.raises(ValueError):
+            solve_lyapunov_exact(a)
+
+
+class TestModal:
+    def test_valid_on_diagonalizable(self):
+        a = stable_matrix(5, seed=4)
+        p = modal_lyapunov(a)
+        assert is_valid_lyapunov(p, a)
+
+    def test_complex_eigenvalues_give_real_p(self):
+        a = np.array([[-1.0, 5.0], [-5.0, -1.0]])
+        p = modal_lyapunov(a)
+        assert np.isrealobj(p)
+        assert is_valid_lyapunov(p, a)
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            modal_lyapunov(np.array([[1.0]]))
+
+    def test_rejects_defective(self):
+        # Jordan block: not diagonalizable.
+        a = np.array([[-1.0, 1.0], [0.0, -1.0]])
+        with pytest.raises(ValueError):
+            modal_lyapunov(a)
+
+
+class TestSynthesizeRegistry:
+    @pytest.mark.parametrize("method", [m for m in METHODS if m != "eq-smt"])
+    def test_all_numeric_methods_produce_valid_candidates(self, method):
+        a = stable_matrix(6, seed=5)
+        candidate = synthesize(method, a)
+        assert candidate.method == method
+        assert candidate.synthesis_time >= 0
+        assert is_valid_lyapunov(candidate.p, a)
+
+    def test_eq_smt_small(self):
+        a = np.array([[-2.0, 1.0], [0.0, -3.0]])
+        candidate = synthesize("eq-smt", a)
+        assert is_valid_lyapunov(candidate.p, a)
+        assert "exact" in candidate.info
+
+    @pytest.mark.parametrize("method", LMI_METHODS)
+    @pytest.mark.parametrize("backend", ["ipm", "shift", "proj"])
+    def test_lmi_backends(self, method, backend):
+        a = stable_matrix(4, seed=6)
+        candidate = synthesize(method, a, backend=backend)
+        assert candidate.backend == backend
+        assert is_valid_lyapunov(candidate.p, a)
+
+    def test_lmi_alpha_enforces_decay(self):
+        a = stable_matrix(4, seed=7, margin=2.0)
+        alpha = default_alpha(a)
+        candidate = synthesize("lmi-alpha", a, alpha=alpha)
+        lie = candidate.lie_matrix(a) + alpha * candidate.p
+        assert np.linalg.eigvalsh(lie).max() < 0
+
+    def test_lmi_alpha_plus_floor(self):
+        a = stable_matrix(4, seed=8)
+        candidate = synthesize("lmi-alpha+", a, nu=2.0)
+        assert np.linalg.eigvalsh(candidate.p).min() >= 2.0
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            synthesize("sos", -np.eye(2))
+
+    def test_default_alpha_positive(self):
+        assert default_alpha(-np.eye(3)) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            default_alpha(np.eye(2))

@@ -1,0 +1,101 @@
+"""Tests for Monte Carlo robustness validation (repro.robust.montecarlo)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import case_by_name, mode_gains
+from repro.exact import RationalMatrix, solve_vector, to_fraction
+from repro.lyapunov import synthesize
+from repro.robust import (
+    EpsilonInputs,
+    epsilon_radius,
+    surface_geometry,
+    synthesize_robust_level,
+)
+from repro.robust.montecarlo import MonteCarloReport, monte_carlo_epsilon_check
+from repro.systems import closed_loop_matrices
+
+
+@pytest.fixture(scope="module")
+def size5_setup():
+    case = case_by_name("size5")
+    r = case.reference()
+    system = case.switched_system(r)
+    mode = 0
+    flow = system.modes[mode].flow
+    halfspace = system.modes[mode].region.halfspaces[0]
+    candidate = synthesize("lmi", case.mode_matrix(mode), backend="ipm")
+    region = synthesize_robust_level(flow, halfspace, candidate.exact_p(10))
+    w_eq = solve_vector(
+        RationalMatrix.from_numpy(flow.a),
+        [-to_fraction(x) for x in flow.b.tolist()],
+    )
+    _, b_cl = closed_loop_matrices(case.plant, mode_gains(mode))
+    epsilon = epsilon_radius(
+        EpsilonInputs(
+            flow_a=flow.a, b_cl=b_cl, p=candidate.p, k=region.k_float(),
+            w_eq=np.array([float(x) for x in w_eq]),
+            geometry=surface_geometry(halfspace, flow),
+        )
+    )
+    return case, r, epsilon
+
+
+class TestInputValidation:
+    def test_epsilon_positive(self, size5_setup):
+        case, r, _ = size5_setup
+        with pytest.raises(ValueError):
+            monte_carlo_epsilon_check(case.switched_system, r, 0, epsilon=0.0)
+
+    def test_fraction_range(self, size5_setup):
+        case, r, eps = size5_setup
+        with pytest.raises(ValueError):
+            monte_carlo_epsilon_check(
+                case.switched_system, r, 0, epsilon=eps, fraction=1.5
+            )
+
+
+class TestVerifiedRadiusHolds:
+    def test_no_switching_inside_epsilon(self, size5_setup):
+        """The headline check: perturbations within the verified radius
+        never cause a mode switch, and the loop re-converges."""
+        case, r, epsilon = size5_setup
+        report = monte_carlo_epsilon_check(
+            case.switched_system, r, mode=0, epsilon=epsilon,
+            trials=6, t_final=25.0, seed=7,
+        )
+        assert isinstance(report, MonteCarloReport)
+        assert report.all_switch_free, report.failures
+        assert report.all_converged, report.failures
+        assert report.worst_switches == 0
+
+    def test_inflated_radius_can_fail(self, size5_setup):
+        """Sanity that the check has teeth: pushing the perturbation far
+        beyond the verified radius (up to the switching margin itself)
+        eventually flips the mode — here, moving r0 down by more than
+        the mode-0 guard margin forces a switch."""
+        case, r, epsilon = size5_setup
+
+        # Directly aim at the vulnerable direction instead of sampling:
+        # lower r0 so the guard r0 - y0 < Theta flips at equilibrium.
+        r_bad = r.copy()
+        r_bad[0] += 2.5  # raise r0: old equilibrium has r0' - y0 > Theta
+        system = case.switched_system(r_bad)
+        old_eq = case.switched_system(r).modes[0].flow.equilibrium()
+        from repro.systems import simulate_pwa
+
+        trajectory = simulate_pwa(system, old_eq, t_final=5.0)
+        # The old equilibrium now sits in mode 1's region: the claimed
+        # "no switch" property fails for this oversized perturbation.
+        assert system.mode_of(old_eq) == 1 or trajectory.n_switches > 0
+
+    def test_report_counts_consistent(self, size5_setup):
+        case, r, epsilon = size5_setup
+        report = monte_carlo_epsilon_check(
+            case.switched_system, r, mode=0, epsilon=epsilon,
+            trials=3, t_final=20.0, seed=1,
+        )
+        assert report.trials == 3
+        assert 0 <= report.switch_free <= 3
+        assert 0 <= report.converged <= 3
+        assert report.max_final_error >= 0

@@ -1,0 +1,181 @@
+"""Cross-cutting property-based tests (library-wide invariants).
+
+These run hypothesis over the seams *between* subsystems — scaling laws,
+dualities, and conservation properties that any refactoring must
+preserve."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import RationalMatrix
+from repro.lyapunov import synthesize
+from repro.robust import synthesize_robust_level
+from repro.smt import LinearConstraint, Relation, Var, solve_linear
+from repro.smt.linear import check_farkas_certificate
+from repro.systems import AffineSystem, HalfSpace
+from repro.validate import validate_candidate
+
+x, y = Var("x"), Var("y")
+
+
+def random_stable(n, seed, margin=0.5):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a - (np.linalg.eigvals(a).real.max() + margin) * np.eye(n)
+
+
+class TestSynthesisValidationClosure:
+    """Every method's output on every (small random) stable system must
+    pass exact validation — the library's central contract."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_all_methods_validate(self, seed, n):
+        a = random_stable(n, seed)
+        for method in ("eq-num", "modal", "lmi", "lmi-alpha"):
+            candidate = synthesize(method, a, backend="shift")
+            report = validate_candidate(candidate, a)
+            assert report.valid is True, (method, seed, n)
+
+
+class TestRobustLevelScaling:
+    """Scaling the Lyapunov matrix scales the level linearly: the robust
+    region W = {V <= k} is invariant under V -> cV, k -> ck."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 9))
+    def test_k_scales_with_p(self, c):
+        flow = AffineSystem([[-1.0, 4.0], [0.0, -1.0]], [0.0, 0.0])
+        halfspace = HalfSpace((1, 0), 1)
+        p = RationalMatrix([[2, 1], [1, 3]])
+        base = synthesize_robust_level(flow, halfspace, p)
+        scaled = synthesize_robust_level(flow, halfspace, p.scale(c))
+        assert scaled.k == base.k * c
+        assert scaled.minimizer == base.minimizer
+
+
+class TestLinearSolverDuality:
+    """solve_linear returns a model XOR a Farkas certificate — never
+    neither, never both — and whichever it returns checks out."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-5, 5),
+                st.sampled_from([Relation.LE, Relation.LT, Relation.EQ]),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_model_xor_certificate(self, rows):
+        constraints = [
+            LinearConstraint(
+                (("x", Fraction(a)), ("y", Fraction(b))), Fraction(c), rel
+            )
+            for a, b, c, rel in rows
+        ]
+        result = solve_linear(constraints)
+        if result.satisfiable:
+            assert result.model is not None
+            assert result.farkas is None
+            for constraint in constraints:
+                value = sum(
+                    (coef * result.model.get(var, Fraction(0))
+                     for var, coef in constraint.coeffs),
+                    Fraction(0),
+                ) + constraint.constant
+                if constraint.relation is Relation.LE:
+                    assert value <= 0
+                elif constraint.relation is Relation.LT:
+                    assert value < 0
+                else:
+                    assert value == 0
+        else:
+            assert result.model is None
+            assert result.farkas is not None
+            assert check_farkas_certificate(constraints, result.farkas)
+
+
+class TestReductionMonotonicity:
+    """Hankel values descend; the H-inf error bound shrinks with order."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_bounds_monotone(self, seed):
+        from repro.reduction import balance
+        from repro.systems import StateSpace
+
+        rng = np.random.default_rng(seed)
+        n = 6
+        a = random_stable(n, seed)
+        plant = StateSpace(a, rng.normal(size=(n, 2)), rng.normal(size=(2, n)))
+        realization = balance(plant)
+        hankel = realization.hankel_values
+        assert all(hankel[i] >= hankel[i + 1] - 1e-12 for i in range(n - 1))
+        bounds = [realization.error_bound(k) for k in range(1, n + 1)]
+        assert all(bounds[i] >= bounds[i + 1] - 1e-12 for i in range(n - 1))
+        assert bounds[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestZonotopeSupportDuality:
+    """support_{MZ}(d) == support_Z(M^T d) — linearity of support
+    functions under linear maps."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_support_under_linear_map(self, seed):
+        from repro.reach import Zonotope
+
+        rng = np.random.default_rng(seed)
+        z = Zonotope(rng.normal(size=3), rng.normal(size=(3, 5)))
+        m = rng.normal(size=(3, 3))
+        d = rng.normal(size=3)
+        lhs = z.linear_map(m).support(d)
+        rhs = z.support(m.T @ d)
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestDiscretizationConsistency:
+    """ZOH at dt then at 2*dt composes: A_d(2dt) == A_d(dt)^2 and the
+    offset accumulates accordingly."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0.01, 0.5))
+    def test_semigroup_property(self, seed, dt):
+        from repro.systems import StateSpace
+        from repro.systems.discretize import discretize_zoh
+
+        a = random_stable(3, seed)
+        rng = np.random.default_rng(seed)
+        plant = StateSpace(a, rng.normal(size=(3, 1)), np.ones((1, 3)))
+        one = discretize_zoh(plant, dt)
+        two = discretize_zoh(plant, 2 * dt)
+        assert np.allclose(two.a, one.a @ one.a, atol=1e-9)
+        assert np.allclose(two.b, one.a @ one.b + one.b, atol=1e-9)
+
+
+class TestExactRoundingMonotonicity:
+    """Rounding a validated candidate at MORE significant figures can
+    never turn a valid verdict invalid while fewer figures stay valid
+    (margins only shrink as precision drops)."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 3_000))
+    def test_validity_monotone_in_precision(self, seed):
+        a = random_stable(4, seed, margin=1.0)
+        candidate = synthesize("lmi-alpha", a, backend="shift")
+        verdicts = {}
+        for sigfigs in (3, 6, 12):
+            verdicts[sigfigs] = validate_candidate(
+                candidate, a, sigfigs=sigfigs
+            ).valid
+        if verdicts[3] is True:
+            assert verdicts[6] is True
+        if verdicts[6] is True:
+            assert verdicts[12] is True

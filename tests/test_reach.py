@@ -1,0 +1,171 @@
+"""Tests for zonotope reachability (repro.reach)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reach import Zonotope, compute_flowpipe, verify_invariance
+from repro.systems import AffineSystem, HalfSpace, simulate_affine
+
+finite = st.floats(-5.0, 5.0, allow_nan=False)
+
+
+class TestZonotope:
+    def test_from_box(self):
+        z = Zonotope.from_box([0.0, -1.0], [2.0, 1.0])
+        lower, upper = z.interval_hull()
+        assert np.allclose(lower, [0.0, -1.0])
+        assert np.allclose(upper, [2.0, 1.0])
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            Zonotope.from_box([1.0], [0.0])
+
+    def test_point(self):
+        z = Zonotope.point([1.0, 2.0])
+        assert z.n_generators == 0
+        assert z.contains_point([1.0, 2.0])
+        assert not z.contains_point([1.0, 2.5])
+
+    def test_ball_inf(self):
+        z = Zonotope.ball_inf([0.0, 0.0], 2.0)
+        assert z.contains_point([2.0, -2.0])
+        assert not z.contains_point([2.1, 0.0])
+
+    def test_linear_map(self):
+        z = Zonotope.from_box([-1.0, -1.0], [1.0, 1.0])
+        rotated = z.linear_map(np.array([[0.0, -1.0], [1.0, 0.0]]))
+        assert rotated.contains_point([1.0, 1.0])
+        assert rotated.support(np.array([1.0, 0.0])) == pytest.approx(1.0)
+
+    def test_minkowski_sum(self):
+        a = Zonotope.ball_inf([0.0], 1.0)
+        b = Zonotope.ball_inf([3.0], 0.5)
+        s = a.minkowski_sum(b)
+        lower, upper = s.interval_hull()
+        assert lower[0] == pytest.approx(1.5)
+        assert upper[0] == pytest.approx(4.5)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Zonotope.ball_inf([0.0], 1.0).minkowski_sum(
+                Zonotope.ball_inf([0.0, 0.0], 1.0)
+            )
+        with pytest.raises(ValueError):
+            Zonotope([0.0, 0.0], np.ones((1, 2)))
+
+    def test_support_matches_hull(self):
+        z = Zonotope(
+            np.array([1.0, -2.0]),
+            np.array([[1.0, 0.5], [0.0, 2.0]]),
+        )
+        lower, upper = z.interval_hull()
+        assert z.support(np.array([1.0, 0.0])) == pytest.approx(upper[0])
+        assert -z.support(np.array([-1.0, 0.0])) == pytest.approx(lower[0])
+
+    @settings(max_examples=40)
+    @given(st.lists(finite, min_size=2, max_size=2), st.floats(0.1, 3.0))
+    def test_scale_support_homogeneous(self, center, factor):
+        z = Zonotope.ball_inf(np.array(center), 1.0)
+        direction = np.array([1.0, -2.0])
+        assert z.scale(factor).support(direction) == pytest.approx(
+            factor * z.support(direction * np.sign(factor)), rel=1e-9
+        )
+
+    def test_reduce_order_is_outer(self):
+        rng = np.random.default_rng(5)
+        z = Zonotope(np.zeros(2), rng.normal(size=(2, 12)))
+        reduced = z.reduce_order(5)
+        assert reduced.n_generators <= 7  # kept + 2 box generators
+        for _ in range(30):
+            direction = rng.normal(size=2)
+            assert reduced.support(direction) >= z.support(direction) - 1e-9
+
+    def test_reduce_order_noop_when_small(self):
+        z = Zonotope.ball_inf([0.0, 0.0], 1.0)
+        assert z.reduce_order(10) is z
+
+    def test_contains_point_lp(self):
+        z = Zonotope(np.zeros(2), np.array([[1.0, 1.0], [1.0, -1.0]]))
+        assert z.contains_point([2.0, 0.0])  # b = (1, 1)
+        assert not z.contains_point([2.0, 1.0])
+
+
+class TestFlowpipe:
+    def test_covers_simulated_trajectories(self):
+        """Soundness: sampled trajectories stay inside the pipe's hull."""
+        system = AffineSystem([[-1.0, 2.0], [-2.0, -1.0]], [0.5, -0.3])
+        initial = Zonotope.ball_inf([2.0, 1.0], 0.2)
+        pipe = compute_flowpipe(system, initial, horizon=1.5, dt=0.02)
+        lower, upper = pipe.interval_hull()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            w0 = initial.center + rng.uniform(-0.2, 0.2, size=2)
+            trajectory = simulate_affine(system, w0, t_final=1.5)
+            assert (trajectory.states >= lower - 1e-6).all()
+            assert (trajectory.states <= upper + 1e-6).all()
+
+    def test_segment_count(self):
+        system = AffineSystem([[-1.0]], [0.0])
+        pipe = compute_flowpipe(
+            system, Zonotope.point([1.0]), horizon=1.0, dt=0.1
+        )
+        assert len(pipe) == 10
+        assert pipe.horizon == pytest.approx(1.0)
+
+    def test_validation(self):
+        system = AffineSystem([[-1.0]], [0.0])
+        with pytest.raises(ValueError):
+            compute_flowpipe(system, Zonotope.point([1.0]), horizon=0.0)
+        with pytest.raises(ValueError):
+            compute_flowpipe(system, Zonotope.point([1.0]), horizon=1.0, dt=-0.1)
+        with pytest.raises(ValueError):
+            compute_flowpipe(system, Zonotope.point([1.0, 2.0]), horizon=1.0)
+
+    def test_contracting_system_shrinks(self):
+        system = AffineSystem([[-2.0, 0.0], [0.0, -2.0]], [0.0, 0.0])
+        initial = Zonotope.ball_inf([1.0, 1.0], 0.1)
+        pipe = compute_flowpipe(system, initial, horizon=3.0, dt=0.05)
+        early = pipe.segments[1].support(np.array([1.0, 0.0]))
+        late = pipe.segments[-1].support(np.array([1.0, 0.0]))
+        assert late < early
+
+
+class TestVerifyInvariance:
+    def test_invariant_region_confirmed(self):
+        # Flow to the origin; region x >= -1; start near the origin.
+        system = AffineSystem([[-1.0, 0.0], [0.0, -1.0]], [0.0, 0.0])
+        initial = Zonotope.ball_inf([0.0, 0.0], 0.3)
+        assert verify_invariance(
+            system, initial, HalfSpace((1, 0), 1), horizon=5.0, dt=0.02
+        )
+
+    def test_violation_detected(self):
+        # Flow pushes left beyond the region boundary.
+        system = AffineSystem([[-1.0, 0.0], [0.0, -1.0]], [-5.0, 0.0])
+        initial = Zonotope.ball_inf([0.0, 0.0], 0.1)
+        assert not verify_invariance(
+            system, initial, HalfSpace((1, 0), 1), horizon=5.0, dt=0.02
+        )
+
+    def test_cross_check_robust_region(self):
+        """Independent confirmation of a verified robust region: a
+        flowpipe from a ball inside W never leaves the operating
+        region."""
+        from repro.engine import case_by_name
+        from repro.lyapunov import synthesize
+        from repro.robust import synthesize_robust_level
+
+        case = case_by_name("size3")
+        system = case.switched_system(case.reference())
+        flow = system.modes[0].flow
+        halfspace = system.modes[0].region.halfspaces[0]
+        candidate = synthesize("lmi", case.mode_matrix(0), backend="ipm")
+        region = synthesize_robust_level(flow, halfspace, candidate.exact_p(10))
+        w_eq = flow.equilibrium()
+        # Largest inf-ball inside {V <= 0.5 k}: radius sqrt(0.5 k / mu_max) / sqrt(n)
+        mu_max = float(np.linalg.eigvalsh(candidate.p).max())
+        radius = 0.5 * np.sqrt(0.5 * region.k_float() / mu_max)
+        initial = Zonotope.ball_inf(w_eq, radius / np.sqrt(len(w_eq)))
+        assert verify_invariance(flow, initial, halfspace, horizon=3.0)

@@ -1,0 +1,65 @@
+"""Tests for region stability certificates (repro.robust.region_stability)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import case_by_name
+from repro.lyapunov import synthesize
+from repro.robust import certify_region_stability
+from repro.systems import simulate_affine
+
+
+@pytest.fixture(scope="module")
+def mode0():
+    case = case_by_name("size5")
+    system = case.switched_system(case.reference())
+    a = case.mode_matrix(0)
+    return system.modes[0].flow, a, synthesize("lmi-alpha", a)
+
+
+class TestCertificate:
+    def test_time_bound_formula(self, mode0):
+        _flow, a, candidate = mode0
+        certificate = certify_region_stability(candidate, a, 100.0, 1.0)
+        assert certificate.time_bound == pytest.approx(
+            np.log(100.0) / certificate.alpha
+        )
+        assert certificate.alpha > 0
+
+    def test_entered_by(self, mode0):
+        _flow, a, candidate = mode0
+        certificate = certify_region_stability(candidate, a, 100.0, 1.0)
+        assert not certificate.entered_by(100.0, 0.0)
+        assert certificate.entered_by(100.0, certificate.time_bound * 1.001)
+
+    def test_validation(self, mode0):
+        _flow, a, candidate = mode0
+        with pytest.raises(ValueError):
+            certify_region_stability(candidate, a, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            certify_region_stability(candidate, a, 1.0, 2.0)
+
+    def test_simulation_respects_time_bound(self, mode0):
+        """Eventually-always, checked dynamically: the trajectory's V
+        enters the inner sublevel set no later than the certificate's
+        bound and never leaves it afterwards."""
+        flow, a, candidate = mode0
+        w_eq = flow.equilibrium()
+        rng = np.random.default_rng(9)
+        direction = rng.normal(size=len(w_eq))
+        v0_target = 50.0
+        scale = np.sqrt(v0_target / (direction @ candidate.p @ direction))
+        w0 = w_eq + scale * direction
+        v0 = candidate.value(w0, center=w_eq)
+        assert v0 == pytest.approx(v0_target, rel=1e-9)
+        certificate = certify_region_stability(candidate, a, v0_target, 0.5)
+        trajectory = simulate_affine(flow, w0, t_final=certificate.time_bound * 1.5)
+        entered = None
+        for t, state in zip(trajectory.times, trajectory.states):
+            value = candidate.value(state, center=w_eq)
+            if entered is None and value <= 0.5:
+                entered = t
+            if entered is not None:
+                assert value <= 0.5 * (1 + 1e-6), "left the inner region"
+        assert entered is not None
+        assert entered <= certificate.time_bound

@@ -1,0 +1,250 @@
+"""Tests for the robustness analysis (repro.robust)."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exact import RationalMatrix
+from repro.robust import (
+    EpsilonInputs,
+    cap_fraction,
+    check_level_robust_smt,
+    ellipsoid_volume,
+    epsilon_radius,
+    log10_truncated_ellipsoid_volume,
+    surface_geometry,
+    synthesize_robust_level,
+    truncated_ellipsoid_volume,
+    unit_ball_volume,
+)
+from repro.systems import AffineSystem, HalfSpace
+
+
+def planar_mode():
+    """Mode with region {x >= -1}, flow to the origin, V = x^2 + y^2."""
+    flow = AffineSystem([[-1.0, 0.0], [0.0, -1.0]], [0.0, 0.0])
+    halfspace = HalfSpace((1, 0), 1)  # x + 1 >= 0
+    p = RationalMatrix.identity(2)
+    return flow, halfspace, p
+
+
+class TestSurfaceGeometry:
+    def test_basic_quantities(self):
+        flow, halfspace, _ = planar_mode()
+        geometry = surface_geometry(halfspace, flow)
+        assert geometry.normal == (Fraction(1), Fraction(0))
+        # g^T A = (-1, 0); tangential part (orthogonal to g) is zero.
+        assert geometry.derivative_row == (Fraction(-1), Fraction(0))
+        assert geometry.constant_on_surface
+
+    def test_inward_derivative(self):
+        flow, halfspace, _ = planar_mode()
+        geometry = surface_geometry(halfspace, flow)
+        # On the surface x = -1 the flow has x' = 1 > 0: inward.
+        assert geometry.inward_derivative([-1, 5]) == 1
+
+    def test_distance(self):
+        flow, halfspace, _ = planar_mode()
+        geometry = surface_geometry(halfspace, flow)
+        assert geometry.distance_to_surface([0.0, 7.0]) == pytest.approx(1.0)
+
+    def test_non_constant_case(self):
+        flow = AffineSystem([[-1.0, 2.0], [0.0, -1.0]], [0.0, 0.0])
+        geometry = surface_geometry(HalfSpace((1, 0), 1), flow)
+        # g^T A = (-1, 2): tangential component (0, 2) != 0.
+        assert not geometry.constant_on_surface
+        assert geometry.tangential_gradient == (Fraction(0), Fraction(2))
+
+
+class TestRobustLevel:
+    def test_whole_region_when_flow_constant_inward(self):
+        flow, halfspace, p = planar_mode()
+        region = synthesize_robust_level(flow, halfspace, p)
+        assert region.case == "whole-region"
+        assert not region.bounded
+        assert region.k_float() == math.inf
+
+    def test_surface_min_when_flow_constant_outward(self):
+        # Flow x' = +x pushes outward everywhere on x = -1 (x' = -1 < 0
+        # there)... use x' = -x + 2y with region x >= -1, eq at origin.
+        flow = AffineSystem([[-1.0, 0.0], [0.0, -1.0]], [-2.0, 0.0])
+        # equilibrium (-2, 0) is OUTSIDE region x >= -1: invalid setup.
+        with pytest.raises(ValueError):
+            synthesize_robust_level(
+                flow, HalfSpace((1, 0), 1), RationalMatrix.identity(2)
+            )
+
+    def test_kkt_corner_case(self):
+        # Region x >= -1, eq at origin, flow x' = -x + 4y, y' = -y:
+        # on the surface x = -1, inward derivative = 1 + 4y: outward for
+        # y < -1/4. Minimize x^2 + y^2 there: corner at (-1, -1/4).
+        flow = AffineSystem([[-1.0, 4.0], [0.0, -1.0]], [0.0, 0.0])
+        halfspace = HalfSpace((1, 0), 1)
+        region = synthesize_robust_level(
+            flow, halfspace, RationalMatrix.identity(2)
+        )
+        assert region.case == "kkt-corner"
+        assert region.k == Fraction(17, 16)  # 1 + 1/16
+        assert region.minimizer == [Fraction(-1), Fraction(-1, 4)]
+
+    def test_surface_min_case(self):
+        # Flow xdot = -x, ydot = -y with region x >= -1: derivative on
+        # surface = 1 everywhere (constant inward) -> whole region. Make
+        # it non-constant but inward-at-minimizer: x' = -x - 0.1y.
+        flow = AffineSystem([[-1.0, -0.1], [0.0, -1.0]], [0.0, 0.0])
+        halfspace = HalfSpace((1, 0), 1)
+        region = synthesize_robust_level(
+            flow, halfspace, RationalMatrix.identity(2)
+        )
+        # Surface minimizer is (-1, 0); inward derivative there is
+        # 1 - 0 = 1 > 0... then the KKT corner applies.
+        assert region.case in ("surface-min", "kkt-corner")
+        assert region.bounded
+        assert region.k >= 1  # at least the distance^2 to the surface
+
+    def test_level_is_min_over_outward_set(self):
+        """Property: V(minimizer) == k and the minimizer is on the surface
+        with non-inward flow."""
+        flow = AffineSystem([[-2.0, 3.0], [0.0, -4.0]], [1.0, 2.0])
+        halfspace = HalfSpace((1, 1), 20)
+        p = RationalMatrix([[3, 1], [1, 2]])
+        region = synthesize_robust_level(flow, halfspace, p)
+        assert region.bounded
+        w = region.minimizer
+        geometry = region.geometry
+        # On the surface:
+        value = sum(g * x for g, x in zip(geometry.normal, w)) + geometry.offset
+        assert value == 0
+        assert geometry.inward_derivative(w) <= 0
+
+    def test_smt_certification_brackets_level(self):
+        flow = AffineSystem([[-1.0, 4.0], [0.0, -1.0]], [0.0, 0.0])
+        halfspace = HalfSpace((1, 0), 1)
+        p = RationalMatrix.identity(2)
+        region = synthesize_robust_level(flow, halfspace, p)
+        w_eq = [Fraction(0), Fraction(0)]
+        below = check_level_robust_smt(
+            flow, halfspace, p, w_eq, region.k * Fraction(99, 100),
+            box_radius=5.0, max_boxes=50_000,
+        )
+        above = check_level_robust_smt(
+            flow, halfspace, p, w_eq, region.k * Fraction(101, 100),
+            box_radius=5.0, max_boxes=50_000,
+        )
+        assert below is True
+        assert above is False
+
+
+class TestVolume:
+    def test_unit_ball_known(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4.0 * math.pi / 3.0)
+
+    def test_cap_fraction_extremes(self):
+        assert cap_fraction(-1.0, 3) == 1.0
+        assert cap_fraction(1.0, 3) == 0.0
+        assert cap_fraction(0.0, 5) == pytest.approx(0.5)
+
+    def test_cap_fraction_symmetry(self):
+        for t in (0.2, 0.6, 0.9):
+            assert cap_fraction(t, 4) + cap_fraction(-t, 4) == pytest.approx(1.0)
+
+    def test_cap_fraction_1d(self):
+        # In 1-D the "ball" is [-1, 1]: fraction with x >= t is (1-t)/2.
+        assert cap_fraction(0.5, 1) == pytest.approx(0.25)
+
+    def test_ellipsoid_volume_sphere(self):
+        # P = I, k = r^2: volume of radius-r ball.
+        assert ellipsoid_volume(np.eye(3), 4.0) == pytest.approx(
+            unit_ball_volume(3) * 8.0
+        )
+
+    def test_ellipsoid_volume_scaling(self):
+        p = np.diag([4.0, 1.0])  # semi-axes 1/2 and 1 at k=1
+        assert ellipsoid_volume(p, 1.0) == pytest.approx(math.pi / 2.0)
+
+    def test_volume_validations(self):
+        with pytest.raises(ValueError):
+            ellipsoid_volume(np.eye(2), -1.0)
+        with pytest.raises(ValueError):
+            ellipsoid_volume(-np.eye(2), 1.0)
+
+    def test_truncated_volume_halves_at_center_cut(self):
+        p = np.eye(2)
+        full = ellipsoid_volume(p, 1.0)
+        half = truncated_ellipsoid_volume(
+            p, 1.0, np.zeros(2), np.array([1.0, 0.0]), 0.0
+        )
+        assert half == pytest.approx(full / 2.0)
+
+    def test_truncated_volume_untouched_when_far(self):
+        p = np.eye(2)
+        vol = truncated_ellipsoid_volume(
+            p, 1.0, np.zeros(2), np.array([1.0, 0.0]), 100.0
+        )
+        assert vol == pytest.approx(ellipsoid_volume(p, 1.0))
+
+    def test_log10_matches_plain(self):
+        p = np.diag([2.0, 3.0])
+        vol = truncated_ellipsoid_volume(
+            p, 2.0, np.zeros(2), np.array([0.0, 1.0]), 0.5
+        )
+        log_vol = log10_truncated_ellipsoid_volume(
+            p, 2.0, np.zeros(2), np.array([0.0, 1.0]), 0.5
+        )
+        assert 10.0**log_vol == pytest.approx(vol, rel=1e-9)
+
+    def test_zero_level(self):
+        assert truncated_ellipsoid_volume(
+            np.eye(2), 0.0, np.zeros(2), np.array([1.0, 0.0]), 1.0
+        ) == 0.0
+
+
+class TestEpsilon:
+    def make_inputs(self, constant=False):
+        if constant:
+            flow = AffineSystem([[-1.0, 0.0], [0.0, -1.0]], [0.0, 0.0])
+        else:
+            flow = AffineSystem([[-1.0, 4.0], [0.0, -1.0]], [0.0, 0.0])
+        halfspace = HalfSpace((1, 0), 1)
+        geometry = surface_geometry(halfspace, flow)
+        b_cl = np.array([[1.0, 0.0], [0.0, 1.0]])
+        return EpsilonInputs(
+            flow_a=flow.a,
+            b_cl=b_cl,
+            p=np.eye(2),
+            k=1.0,
+            w_eq=np.zeros(2),
+            geometry=geometry,
+        )
+
+    def test_constant_case(self):
+        inputs = self.make_inputs(constant=True)
+        # dist = 1, beta = ||A^{-1}B|| = 1 -> epsilon = 1.
+        assert epsilon_radius(inputs) == pytest.approx(1.0)
+
+    def test_general_case_positive_and_bounded(self):
+        inputs = self.make_inputs(constant=False)
+        eps = epsilon_radius(inputs)
+        assert 0 < eps <= inputs.delta / inputs.beta
+
+    def test_components(self):
+        inputs = self.make_inputs(constant=False)
+        assert inputs.delta == pytest.approx(1.0)
+        assert inputs.mu == pytest.approx(1.0)  # P = I
+        assert inputs.alpha == pytest.approx(1.0)
+        assert inputs.gamma > 0
+
+    def test_gamma_undefined_in_constant_case(self):
+        inputs = self.make_inputs(constant=True)
+        with pytest.raises(ValueError):
+            _ = inputs.gamma
+
+    def test_mu_requires_pd(self):
+        inputs = self.make_inputs()
+        inputs.p = -np.eye(2)
+        with pytest.raises(ValueError):
+            _ = inputs.mu

@@ -1,0 +1,129 @@
+"""Tests for the Lyapunov LMI solvers (repro.sdp)."""
+
+import numpy as np
+import pytest
+
+from repro.sdp import (
+    BACKENDS,
+    LmiInfeasibleError,
+    LyapunovLmiProblem,
+    best_alpha,
+    solve_lyapunov_lmi,
+)
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def stable_matrix(n, seed=0, margin=0.5):
+    """A random Hurwitz matrix with spectral abscissa <= -margin."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    abscissa = float(np.linalg.eigvals(a).real.max())
+    return a - (abscissa + margin) * np.eye(n)
+
+
+class TestProblem:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            LyapunovLmiProblem(np.ones((2, 3)))
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LyapunovLmiProblem(np.eye(2), alpha=-1.0)
+
+    def test_rejects_bad_nu(self):
+        with pytest.raises(ValueError):
+            LyapunovLmiProblem(np.eye(2), nu=0.0)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            LyapunovLmiProblem(np.eye(2), margin=0.0)
+
+    def test_margins_at_known_point(self):
+        a = -np.eye(2)
+        problem = LyapunovLmiProblem(a, margin=1e-6)
+        floor, decay = problem.constraint_margins(np.eye(2))
+        # P = I: floor = 1 - 1e-6, L(P) = -2I so decay = 2 - 1e-6.
+        assert floor == pytest.approx(1.0, abs=1e-5)
+        assert decay == pytest.approx(2.0, abs=1e-5)
+        assert problem.is_strictly_feasible(np.eye(2))
+        assert problem.residual(np.eye(2)) == 0.0
+
+    def test_residual_positive_when_infeasible(self):
+        problem = LyapunovLmiProblem(-np.eye(2))
+        assert problem.residual(-np.eye(2)) > 0
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("n", [2, 5, 10])
+    def test_plain_lmi_feasible(self, backend, n):
+        a = stable_matrix(n, seed=n)
+        solution = solve_lyapunov_lmi(a, backend=backend)
+        problem = LyapunovLmiProblem(a)
+        assert problem.is_strictly_feasible(solution.p, slack=1e-10)
+        assert np.allclose(solution.p, solution.p.T)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_alpha_constraint_enforced(self, backend):
+        a = stable_matrix(6, seed=3, margin=2.0)
+        alpha = 1.0
+        solution = solve_lyapunov_lmi(a, alpha=alpha, backend=backend)
+        p = solution.p
+        decay = np.linalg.eigvalsh(a.T @ p + p @ a + alpha * p).max()
+        assert decay < 0
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_nu_floor_enforced(self, backend):
+        a = stable_matrix(4, seed=9)
+        nu = 2.5
+        solution = solve_lyapunov_lmi(a, nu=nu, backend=backend)
+        assert np.linalg.eigvalsh(solution.p).min() >= nu
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_unstable_matrix_rejected(self, backend):
+        a = np.array([[1.0, 0.0], [0.0, -1.0]])
+        with pytest.raises(LmiInfeasibleError):
+            solve_lyapunov_lmi(a, backend=backend)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_excessive_alpha_rejected(self, backend):
+        a = -np.eye(3)  # decay rate exactly 2
+        with pytest.raises(LmiInfeasibleError):
+            solve_lyapunov_lmi(a, alpha=5.0, backend=backend)
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError):
+            solve_lyapunov_lmi(-np.eye(2), backend="mosek")
+
+    def test_solution_metadata(self):
+        solution = solve_lyapunov_lmi(-np.eye(3), backend="shift")
+        assert solution.backend == "shift"
+        assert solution.iterations >= 1
+        assert solution.matrix is solution.p
+
+    def test_ipm_returns_interior_point(self):
+        """The analytic center should be far from the constraint floor."""
+        a = stable_matrix(4, seed=1)
+        shift_sol = solve_lyapunov_lmi(a, backend="shift")
+        ipm_sol = solve_lyapunov_lmi(a, backend="ipm")
+        problem = LyapunovLmiProblem(a)
+        floor_shift, _ = problem.constraint_margins(shift_sol.p)
+        floor_ipm, _ = problem.constraint_margins(ipm_sol.p)
+        assert floor_ipm > floor_shift  # deeper in the cone
+
+
+class TestBestAlpha:
+    def test_matches_spectral_abscissa(self):
+        a = np.diag([-1.0, -3.0])
+        # Decay limited by the slowest mode: alpha* = 2.
+        assert best_alpha(a, tolerance=1e-4) == pytest.approx(2.0, abs=1e-3)
+
+    def test_rejects_unstable(self):
+        with pytest.raises(LmiInfeasibleError):
+            best_alpha(np.eye(2))
+
+    def test_random_system(self):
+        a = stable_matrix(5, seed=12)
+        expected = -2.0 * float(np.linalg.eigvals(a).real.max())
+        assert best_alpha(a, tolerance=1e-4) == pytest.approx(expected, abs=1e-2)

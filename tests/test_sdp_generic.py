@@ -1,0 +1,116 @@
+"""Tests for the ellipsoid-method LMI solver (repro.sdp.generic)."""
+
+import numpy as np
+import pytest
+
+from repro.sdp import LmiBlock, LmiInfeasibleError, solve_lmi_ellipsoid
+
+
+def diag_block(f0_diag, coeff_diags, margin=0.0, name=""):
+    return LmiBlock(
+        np.diag(np.asarray(f0_diag, dtype=float)),
+        [np.diag(np.asarray(d, dtype=float)) for d in coeff_diags],
+        margin=margin,
+        name=name,
+    )
+
+
+class TestLmiBlock:
+    def test_evaluate(self):
+        block = diag_block([1, 1], [[1, 0], [0, 1]])
+        m = block.evaluate(np.array([2.0, -3.0]))
+        assert np.allclose(m, np.diag([3.0, -2.0]))
+
+    def test_violation_sign(self):
+        block = diag_block([1, 1], [[1, 0]], margin=0.0)
+        violated, vector = block.violation(np.array([-2.0]))
+        assert violated > 0  # min eig = -1 < 0
+        assert np.allclose(np.abs(vector), [1.0, 0.0])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LmiBlock(np.eye(2), [np.eye(3)])
+
+
+class TestEllipsoid:
+    def test_simple_feasibility(self):
+        # Find x with x*I - I/2 > 0, i.e. x > 1/2, and 2I - x*I > 0 (x < 2).
+        blocks = [
+            diag_block([-0.5, -0.5], [[1, 1]], name="lower"),
+            diag_block([2, 2], [[-1, -1]], name="upper"),
+        ]
+        result = solve_lmi_ellipsoid(blocks, dimension=1)
+        assert result.feasible
+        assert 0.5 < result.x[0] < 2.0
+
+    def test_two_dimensional(self):
+        # [[x, y], [y, 1]] > 0 and x < 3: feasible, e.g. x=1, y=0.
+        f0 = np.array([[0.0, 0.0], [0.0, 1.0]])
+        fx = np.array([[1.0, 0.0], [0.0, 0.0]])
+        fy = np.array([[0.0, 1.0], [1.0, 0.0]])
+        cap = LmiBlock(np.array([[3.0]]), [np.array([[-1.0]]), np.array([[0.0]])])
+        result = solve_lmi_ellipsoid(
+            [LmiBlock(f0, [fx, fy], margin=0.1), cap], dimension=2
+        )
+        assert result.feasible
+        x, y = result.x
+        m = f0 + x * fx + y * fy
+        assert np.linalg.eigvalsh(m).min() >= 0.1
+        assert x < 3
+
+    def test_infeasible_raises_or_exhausts(self):
+        # x >= 1 and x <= -1 simultaneously: empty.
+        blocks = [
+            diag_block([-1], [[1]], name="lower"),
+            diag_block([-1], [[-1]], name="upper"),
+        ]
+        with pytest.raises(LmiInfeasibleError):
+            solve_lmi_ellipsoid(blocks, dimension=1, initial_radius=100.0)
+
+    def test_budget_exhaustion_returns_best(self):
+        blocks = [diag_block([-0.5], [[1]])]
+        result = solve_lmi_ellipsoid(blocks, dimension=1, max_iterations=1)
+        # One iteration from x=0 cannot reach feasibility (x must be > 1/2)
+        assert not result.feasible
+        assert result.worst_violation > 0
+
+    def test_lyapunov_via_ellipsoid(self):
+        """Cross-check against the dedicated solvers on a small system."""
+        from repro.sdp import svec_basis
+
+        a = np.array([[-1.0, 2.0], [0.0, -3.0]])
+        basis = svec_basis(2)
+        dim = len(basis)
+        pd_block = LmiBlock(
+            np.zeros((2, 2)), [e.copy() for e in basis], margin=0.05, name="P>0"
+        )
+        decay_block = LmiBlock(
+            np.zeros((2, 2)),
+            [-(a.T @ e + e @ a) for e in basis],
+            margin=0.05,
+            name="lyap",
+        )
+        bound_block = LmiBlock(
+            10.0 * np.eye(2), [-e.copy() for e in basis], name="P<10I"
+        )
+        result = solve_lmi_ellipsoid(
+            [pd_block, decay_block, bound_block], dimension=dim
+        )
+        assert result.feasible
+        p = sum(x * e for x, e in zip(result.x, basis))
+        assert np.linalg.eigvalsh(p).min() > 0
+        assert np.linalg.eigvalsh(a.T @ p + p @ a).max() < 0
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            solve_lmi_ellipsoid([], dimension=0)
+        with pytest.raises(ValueError):
+            solve_lmi_ellipsoid([diag_block([1], [[1]])], dimension=2)
+
+    def test_history_recorded(self):
+        blocks = [diag_block([-0.5], [[1]])]
+        result = solve_lmi_ellipsoid(
+            blocks, dimension=1, record_history=True
+        )
+        assert result.feasible
+        assert len(result.history) == result.iterations

@@ -1,0 +1,161 @@
+"""Tests for the ICP branch-and-prune solver (repro.smt.icp)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import RationalMatrix
+from repro.smt import (
+    Box,
+    IcpSolver,
+    IcpStatus,
+    Interval,
+    Var,
+    eval_poly_interval,
+    polynomial_of,
+    quadratic_form_term,
+)
+
+x, y = Var("x"), Var("y")
+
+
+class TestBox:
+    def test_cube(self):
+        box = Box.cube(["x", "y"], -1.0, 1.0)
+        assert box["x"] == Interval(-1.0, 1.0)
+        assert box.max_width() == 2.0
+
+    def test_widest_variable(self):
+        box = Box({"x": Interval(0.0, 1.0), "y": Interval(0.0, 3.0)})
+        assert box.widest_variable() == "y"
+
+    def test_with_interval_copies(self):
+        box = Box.cube(["x"], 0.0, 1.0)
+        other = box.with_interval("x", Interval(0.0, 0.5))
+        assert box["x"].hi == 1.0 and other["x"].hi == 0.5
+
+    def test_midpoint_is_rational(self):
+        box = Box.cube(["x"], 0.0, 1.0)
+        assert box.midpoint() == {"x": Fraction(1, 2)}
+
+
+class TestEvalPolyInterval:
+    def test_simple(self):
+        poly = polynomial_of(x * x + y)
+        box = Box({"x": Interval(-1.0, 1.0), "y": Interval(0.0, 2.0)})
+        enclosure = eval_poly_interval(poly, box)
+        assert enclosure.lo <= 0.0 and enclosure.hi >= 3.0
+
+    def test_constant(self):
+        enclosure = eval_poly_interval(polynomial_of(x - x + 5), Box.cube(["x"], 0, 1))
+        assert enclosure.contains(5)
+
+
+class TestIcpDecisions:
+    def test_unsat_positive_poly(self):
+        # x^2 + 1 <= 0 has no solution anywhere.
+        result = IcpSolver().check([(x * x + 1) <= 0], Box.cube(["x"], -10.0, 10.0))
+        assert result.status is IcpStatus.UNSAT
+
+    def test_sat_with_witness(self):
+        # x^2 - 1 <= 0 and x >= 1/2
+        result = IcpSolver().check(
+            [(x * x - 1) <= 0, (Fraction(1, 2) - x) <= 0],
+            Box.cube(["x"], -10.0, 10.0),
+        )
+        assert result.status is IcpStatus.SAT
+        w = result.witness["x"]
+        assert w * w <= 1 and w >= Fraction(1, 2)
+
+    def test_unsat_outside_box(self):
+        # x >= 5 within box [-1, 1]
+        result = IcpSolver().check([(5 - x) <= 0], Box.cube(["x"], -1.0, 1.0))
+        assert result.status is IcpStatus.UNSAT
+
+    def test_strict_vs_nonstrict_at_boundary(self):
+        box = Box.cube(["x"], 0.0, 1.0)
+        # x < 0 is UNSAT on [0, 1]; x <= 0 is SAT (at 0).
+        assert IcpSolver().check([x < 0], box).status is IcpStatus.UNSAT
+        nonstrict = IcpSolver().check([x <= 0], box)
+        assert nonstrict.status in (IcpStatus.SAT, IcpStatus.DELTA_SAT)
+
+    def test_equality_atom(self):
+        result = IcpSolver().check(
+            [(x * x - 2).eq(0)], Box.cube(["x"], 0.0, 2.0)
+        )
+        # sqrt(2) is irrational: ICP can only conclude delta-sat.
+        assert result.status is IcpStatus.DELTA_SAT
+        mid = result.witness_box["x"].midpoint
+        assert mid == pytest.approx(2**0.5, abs=1e-5)
+
+    def test_equality_unsat(self):
+        result = IcpSolver().check([(x * x + 1).eq(0)], Box.cube(["x"], -5.0, 5.0))
+        assert result.status is IcpStatus.UNSAT
+
+    def test_disequality(self):
+        result = IcpSolver().check(
+            [x.eq(0).negate(), x * x <= Fraction(1, 4)],
+            Box.cube(["x"], -1.0, 1.0),
+        )
+        assert result.status is IcpStatus.SAT
+        assert result.witness["x"] != 0
+
+    def test_two_variables(self):
+        # Unit circle intersect x >= 0.9, y >= 0.9: impossible.
+        circle = (x * x + y * y - 1).eq(0)
+        result = IcpSolver().check(
+            [circle, (Fraction(9, 10) - x) <= 0, (Fraction(9, 10) - y) <= 0],
+            Box.cube(["x", "y"], -2.0, 2.0),
+        )
+        assert result.status is IcpStatus.UNSAT
+
+    def test_budget_exhaustion_returns_unknown(self):
+        solver = IcpSolver(delta=1e-30, max_boxes=5)
+        result = solver.check(
+            [(x * x - 2).eq(0)], Box.cube(["x"], 0.0, 2.0)
+        )
+        assert result.status in (IcpStatus.UNKNOWN, IcpStatus.DELTA_SAT)
+
+    def test_stats_populated(self):
+        result = IcpSolver().check([(x * x + 1) <= 0], Box.cube(["x"], -4.0, 4.0))
+        assert result.boxes_explored >= 1
+
+
+class TestIcpOnQuadraticForms:
+    """The definiteness workloads the library actually runs."""
+
+    def test_pd_form_unsat_on_face(self):
+        p = RationalMatrix([[2, 1], [1, 2]])
+        form = quadratic_form_term(p, [x, y])
+        box = Box({"x": Interval(1.0, 1.0), "y": Interval(-1.0, 1.0)})
+        result = IcpSolver().check([form <= 0], box)
+        assert result.status is IcpStatus.UNSAT
+
+    def test_indefinite_form_sat_on_face(self):
+        p = RationalMatrix([[1, 2], [2, 1]])  # eigenvalues 3, -1
+        form = quadratic_form_term(p, [x, y])
+        box = Box({"x": Interval(1.0, 1.0), "y": Interval(-1.0, 1.0)})
+        result = IcpSolver().check([form <= 0], box)
+        assert result.status is IcpStatus.SAT
+        witness = [result.witness["x"], result.witness["y"]]
+        assert p.quadratic_form(witness) <= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(-4, 4), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_agrees_with_exact_sylvester(self, rows):
+        from repro.exact import sylvester_positive_definite
+        from repro.smt import check_positive_definite_icp
+
+        m = RationalMatrix(rows).symmetrize()
+        outcome = check_positive_definite_icp(m, max_boxes=50_000)
+        expected = sylvester_positive_definite(m)
+        if outcome.verdict is not None:
+            assert outcome.verdict == expected

@@ -1,0 +1,144 @@
+"""Tests for sound interval arithmetic (repro.smt.interval)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import Interval
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def intervals():
+    return st.tuples(finite, finite).map(
+        lambda ab: Interval(min(ab), max(ab))
+    )
+
+
+def exact_points(iv):
+    """Rational sample points inside an interval."""
+    lo, hi = Fraction(iv.lo), Fraction(iv.hi)
+    return [lo, hi, (lo + hi) / 2]
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_point_of_fraction_encloses(self):
+        iv = Interval.point(Fraction(1, 3))
+        assert Fraction(iv.lo) <= Fraction(1, 3) <= Fraction(iv.hi)
+        assert iv.width < 1e-15
+
+    def test_point_of_exact_float_is_tight(self):
+        iv = Interval.point(0.25)
+        assert iv.lo == iv.hi == 0.25
+
+    def test_whole(self):
+        iv = Interval.whole()
+        assert iv.lo == -math.inf and iv.hi == math.inf
+        assert iv.contains(10**20)
+
+    def test_make(self):
+        iv = Interval.make(Fraction(1, 3), Fraction(2, 3))
+        assert iv.contains(Fraction(1, 2))
+
+
+class TestQueries:
+    def test_contains(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.contains(Fraction(1, 2))
+        assert not iv.contains(2)
+
+    def test_midpoint_finite(self):
+        assert Interval(0.0, 2.0).midpoint == 1.0
+
+    def test_midpoint_half_infinite(self):
+        assert Interval(-math.inf, 5.0).midpoint <= 4.0
+        assert Interval(3.0, math.inf).midpoint >= 3.0
+        assert Interval.whole().midpoint == 0.0
+
+    def test_intersect(self):
+        assert Interval(0.0, 2.0).intersect(Interval(1.0, 3.0)) == Interval(1.0, 2.0)
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_split_covers(self):
+        left, right = Interval(0.0, 1.0).split()
+        assert left.lo == 0.0 and right.hi == 1.0
+        assert left.hi == right.lo
+
+    def test_sign_queries(self):
+        assert Interval(0.5, 1.0).certainly_positive()
+        assert Interval(0.0, 1.0).certainly_nonnegative()
+        assert not Interval(0.0, 1.0).certainly_positive()
+        assert Interval(-2.0, -1.0).certainly_negative()
+        assert Interval(-2.0, 0.0).certainly_nonpositive()
+        assert Interval(0.5, 1.0).certainly_nonzero()
+        assert Interval(-1.0, -0.5).certainly_nonzero()
+        assert not Interval(-1.0, 1.0).certainly_nonzero()
+
+
+class TestArithmeticSoundness:
+    """Exact rational results must always land inside the float interval."""
+
+    @settings(max_examples=60)
+    @given(intervals(), intervals())
+    def test_add_encloses(self, a, b):
+        result = a + b
+        for pa in exact_points(a):
+            for pb in exact_points(b):
+                assert result.contains(pa + pb)
+
+    @settings(max_examples=60)
+    @given(intervals(), intervals())
+    def test_sub_encloses(self, a, b):
+        result = a - b
+        for pa in exact_points(a):
+            for pb in exact_points(b):
+                assert result.contains(pa - pb)
+
+    @settings(max_examples=60)
+    @given(intervals(), intervals())
+    def test_mul_encloses(self, a, b):
+        result = a * b
+        for pa in exact_points(a):
+            for pb in exact_points(b):
+                assert result.contains(pa * pb)
+
+    @settings(max_examples=60)
+    @given(intervals(), st.integers(min_value=0, max_value=5))
+    def test_pow_encloses(self, a, k):
+        result = a**k
+        for pa in exact_points(a):
+            assert result.contains(pa**k)
+
+    def test_even_pow_through_zero_floors_at_zero(self):
+        assert (Interval(-2.0, 3.0) ** 2).lo == 0.0
+
+    def test_pow_zero(self):
+        assert Interval(-1.0, 1.0) ** 0 == Interval(1.0, 1.0)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 2.0) ** (-1)
+
+    def test_neg(self):
+        assert -Interval(1.0, 2.0) == Interval(-2.0, -1.0)
+
+    def test_scale(self):
+        iv = Interval(1.0, 2.0).scale(Fraction(1, 2))
+        assert iv.contains(Fraction(1, 2)) and iv.contains(1)
+
+    def test_mul_with_infinity(self):
+        result = Interval(0.0, 1.0) * Interval(0.0, math.inf)
+        assert result.lo <= 0.0 and result.hi == math.inf

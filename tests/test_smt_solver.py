@@ -1,0 +1,114 @@
+"""Tests for the combined SMT front-end (repro.smt.solver, .encodings)."""
+
+import pytest
+
+from repro.exact import RationalMatrix, sylvester_positive_definite
+from repro.smt import (
+    And,
+    Box,
+    Not,
+    Or,
+    SmtSolver,
+    SmtStatus,
+    Var,
+    check_positive_definite_icp,
+)
+
+x, y = Var("x"), Var("y")
+
+
+class TestSolverDispatch:
+    def test_linear_sat(self):
+        result = SmtSolver().check(And((x <= 1, x >= 0)))
+        assert result.is_sat
+        assert 0 <= result.model["x"] <= 1
+
+    def test_linear_unsat(self):
+        result = SmtSolver().check(And((x < 0, x > 0)))
+        assert result.is_unsat
+
+    def test_disjunction(self):
+        f = Or((And((x < 0, x > 0)), x.eq(7)))
+        result = SmtSolver().check(f)
+        assert result.is_sat
+        assert result.model["x"] == 7
+
+    def test_nonlinear_needs_box(self):
+        with pytest.raises(ValueError):
+            SmtSolver().check(And(((x * x) <= 0, (x * x) >= 1)))
+
+    def test_nonlinear_unsat(self):
+        f = And(((x * x + 1) <= 0,))
+        result = SmtSolver().check(f, Box.cube(["x"], -10.0, 10.0))
+        assert result.is_unsat
+
+    def test_nonlinear_sat(self):
+        f = And(((x * x - 4).eq(0), x >= 0))
+        result = SmtSolver().check(f, Box.cube(["x"], -5.0, 5.0))
+        # x = 2 is rational: solver should find it exactly or delta-sat it.
+        assert result.status in (SmtStatus.SAT, SmtStatus.DELTA_SAT)
+
+    def test_nonlinear_ne_case_split(self):
+        f = And((Not((x * x).eq(0)), (x * x) <= 1))
+        result = SmtSolver().check(f, Box.cube(["x"], -2.0, 2.0))
+        assert result.is_sat
+        assert result.model["x"] != 0
+
+    def test_empty_conjunction_is_sat(self):
+        result = SmtSolver().check_conjunction([])
+        assert result.is_sat
+
+    def test_mixed_statuses_prefer_delta(self):
+        # One conjunct unsat, another only delta-decidable.
+        f = Or((And((x < 0, x > 0)), And(((x * x - 2).eq(0),))))
+        result = SmtSolver().check(f, Box.cube(["x"], 0.0, 2.0))
+        assert result.status is SmtStatus.DELTA_SAT
+
+
+class TestDefinitenessEncoding:
+    def test_pd_validated(self):
+        p = RationalMatrix([[2, 1], [1, 2]])
+        outcome = check_positive_definite_icp(p)
+        assert outcome.verdict is True
+        assert outcome.faces_checked == 2
+
+    def test_indefinite_refuted_with_witness(self):
+        p = RationalMatrix([[1, 2], [2, 1]])
+        outcome = check_positive_definite_icp(p)
+        assert outcome.verdict is False
+        witness = [outcome.counterexample["w0"], outcome.counterexample["w1"]]
+        assert p.quadratic_form(witness) <= 0
+
+    def test_negative_definite_refuted(self):
+        p = RationalMatrix([[-1, 0], [0, -1]])
+        outcome = check_positive_definite_icp(p)
+        assert outcome.verdict is False
+
+    def test_plus_det_catches_singular(self):
+        p = RationalMatrix([[1, 1], [1, 1]])
+        outcome = check_positive_definite_icp(p, plus_det=True)
+        assert outcome.verdict is False
+
+    def test_plus_det_on_pd(self):
+        p = RationalMatrix([[5, 1], [1, 5]])
+        assert check_positive_definite_icp(p, plus_det=True).verdict is True
+
+    def test_singular_without_det_is_undecided_or_refuted(self):
+        # q(w) = (w0 - w1)^2: zero on the diagonal, never negative.
+        p = RationalMatrix([[1, -1], [-1, 1]])
+        outcome = check_positive_definite_icp(p, max_boxes=3_000)
+        assert outcome.verdict in (False, None)
+        assert outcome.verdict is not True
+
+    def test_requires_symmetric(self):
+        with pytest.raises(ValueError):
+            check_positive_definite_icp(RationalMatrix([[1, 2], [0, 1]]))
+
+    @pytest.mark.parametrize("plus_det", [False, True])
+    def test_agrees_with_sylvester_on_diagonals(self, plus_det):
+        for diag in ([3, 1, 2], [1, -1, 2], [2, 2, 0]):
+            m = RationalMatrix.diagonal(diag)
+            outcome = check_positive_definite_icp(m, plus_det=plus_det)
+            expected = sylvester_positive_definite(m)
+            if outcome.verdict is not None:
+                assert outcome.verdict == expected

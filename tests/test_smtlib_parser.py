@@ -1,0 +1,147 @@
+"""Tests for the SMT-LIB parser (repro.smt.parser)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    And,
+    Atom,
+    Box,
+    Not,
+    Or,
+    Relation,
+    Var,
+    polynomial_of,
+    script_for_refutation,
+    formula_to_smtlib,
+)
+from repro.smt.parser import (
+    ParsedScript,
+    SmtLibParseError,
+    parse_formula,
+    parse_script,
+)
+
+x, y = Var("x"), Var("y")
+
+
+class TestParseFormula:
+    def test_atom(self):
+        f = parse_formula("(<= x 0)", ["x"])
+        assert isinstance(f, Atom)
+        assert f.relation is Relation.LE
+
+    def test_ge_gt_normalization(self):
+        f = parse_formula("(>= x 1)", ["x"])
+        # x >= 1 becomes 1 - x <= 0.
+        assert polynomial_of(f.lhs) == {(("x", 1),): -1, (): 1}
+        g = parse_formula("(> x 1)", ["x"])
+        assert g.relation is Relation.LT
+
+    def test_rationals(self):
+        f = parse_formula("(= (* (/ 1 3) x) 0)", ["x"])
+        assert polynomial_of(f.lhs) == {(("x", 1),): Fraction(1, 3)}
+
+    def test_negative_literals(self):
+        f = parse_formula("(<= (+ x (- 2)) 0)", ["x"])
+        assert polynomial_of(f.lhs) == {(("x", 1),): 1, (): -2}
+
+    def test_unary_and_binary_minus(self):
+        f = parse_formula("(<= (- x y 1) 0)", ["x", "y"])
+        assert polynomial_of(f.lhs) == {(("x", 1),): 1, (("y", 1),): -1, (): -1}
+
+    def test_connectives(self):
+        f = parse_formula("(and (<= x 0) (or (< y 0) (not (= y 1))))", ["x", "y"])
+        assert isinstance(f, And)
+        assert isinstance(f.args[1], Or)
+        assert isinstance(f.args[1].args[1], Not)
+
+    def test_undeclared_symbol(self):
+        with pytest.raises(SmtLibParseError):
+            parse_formula("(<= z 0)", ["x"])
+
+    def test_malformed(self):
+        with pytest.raises(SmtLibParseError):
+            parse_formula("(<= x 0", ["x"])
+        with pytest.raises(SmtLibParseError):
+            parse_formula(")", ["x"])
+        with pytest.raises(SmtLibParseError):
+            parse_formula("(banana x 0)", ["x"])
+        with pytest.raises(SmtLibParseError):
+            parse_formula("(/ x y)", ["x", "y"])
+
+
+class TestParseScript:
+    def test_exporter_roundtrip(self):
+        script = script_for_refutation(
+            [(x * x + 2 * y - 1) <= 0, y.eq(0).negate()],
+            box=Box.cube(["x", "y"], -1.0, 1.0),
+            comment="roundtrip test",
+        )
+        parsed = parse_script(script)
+        assert parsed.logic == "QF_NRA"
+        assert parsed.variables == ["x", "y"]
+        # box bounds (4) + the main assertion
+        assert len(parsed.assertions) == 5
+
+    def test_declare_fun_variant(self):
+        parsed = parse_script(
+            "(set-logic QF_NRA)(declare-fun a () Real)(assert (<= a 0))"
+        )
+        assert parsed.variables == ["a"]
+        assert isinstance(parsed.formula, Atom)
+
+    def test_comments_ignored(self):
+        parsed = parse_script("; hello\n(set-logic QF_LRA)\n; more\n")
+        assert parsed.logic == "QF_LRA"
+        assert isinstance(parsed, ParsedScript)
+
+    def test_unsupported_command(self):
+        with pytest.raises(SmtLibParseError):
+            parse_script("(pop 1)")
+
+    def test_non_real_rejected(self):
+        with pytest.raises(SmtLibParseError):
+            parse_script("(declare-const b Bool)")
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.fractions(
+                    min_value=-5, max_value=5, max_denominator=12
+                ),
+                st.integers(0, 2),
+                st.integers(0, 2),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_print_parse_roundtrip_is_exact(self, monomials):
+        """Export→parse preserves the polynomial exactly (no floats)."""
+        term = None
+        for coeff, dx, dy in monomials:
+            part = (
+                (x**dx) * (y**dy) * Fraction(coeff)
+                if coeff
+                else x * 0
+            )
+            term = part if term is None else term + part
+        atom = Atom(term, Relation.LE)
+        printed = formula_to_smtlib(atom)
+        parsed = parse_formula(printed, ["x", "y"])
+        assert polynomial_of(parsed.lhs) == polynomial_of(term)
+
+    def test_semantics_preserved_through_solver(self):
+        """A parsed script decides the same way as the original atoms."""
+        from repro.smt import SmtSolver
+
+        original = And(((x - 1) <= 0, (1 - x) < 0))  # x <= 1 and x > 1
+        script = script_for_refutation(original)
+        parsed = parse_script(script)
+        assert SmtSolver().check(original).is_unsat
+        assert SmtSolver().check(parsed.formula).is_unsat

@@ -1,0 +1,151 @@
+"""Tests for Sturm-sequence root isolation (repro.exact.sturm)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import RationalMatrix
+from repro.exact.sturm import (
+    count_real_roots,
+    eigenvalue_intervals,
+    isolate_real_roots,
+    lambda_min_bounds,
+    sturm_sequence,
+)
+
+
+def poly_from_roots(roots):
+    """prod (x - r) as highest-first rational coefficients."""
+    coefficients = [Fraction(1)]
+    for root in roots:
+        new = [Fraction(0)] * (len(coefficients) + 1)
+        for i, c in enumerate(coefficients):
+            new[i] += c
+            new[i + 1] -= c * Fraction(root)
+        coefficients = new
+    return coefficients
+
+
+class TestSturmSequence:
+    def test_chain_structure(self):
+        chain = sturm_sequence([1, 0, -1])  # x^2 - 1
+        assert chain[0] == [1, 0, -1]
+        assert chain[1] == [2, 0]
+        assert len(chain) >= 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            sturm_sequence([0])
+
+    def test_constant(self):
+        assert sturm_sequence([5]) == [[5]]
+
+
+class TestRootCounting:
+    def test_quadratic(self):
+        poly = [1, 0, -2]  # roots +-sqrt(2)
+        assert count_real_roots(poly, -10, 10) == 2
+        assert count_real_roots(poly, 0, 10) == 1
+        assert count_real_roots(poly, 2, 10) == 0
+
+    def test_no_real_roots(self):
+        assert count_real_roots([1, 0, 1], -100, 100) == 0
+
+    def test_distinct_count_for_repeated_roots(self):
+        poly = poly_from_roots([1, 1, 2])  # (x-1)^2 (x-2)
+        assert count_real_roots(poly, 0, 3) == 2  # distinct roots only
+
+    def test_half_open_semantics(self):
+        poly = poly_from_roots([1])
+        assert count_real_roots(poly, 0, 1) == 1  # root at right endpoint
+        assert count_real_roots(poly, 1, 2) == 0  # excluded at left
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            count_real_roots([1, 0], 1, 0)
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.integers(-6, 6), min_size=1, max_size=4
+        )
+    )
+    def test_count_matches_construction(self, roots):
+        poly = poly_from_roots(roots)
+        distinct = len(set(roots))
+        assert count_real_roots(poly, -100, 100) == distinct
+
+
+class TestIsolation:
+    def test_isolates_known_roots(self):
+        poly = poly_from_roots([-3, Fraction(1, 2), 7])
+        intervals = isolate_real_roots(poly)
+        assert len(intervals) == 3
+        for (lo, hi), root in zip(intervals, [-3, Fraction(1, 2), 7]):
+            assert lo <= root <= hi
+            assert hi - lo <= Fraction(1, 10**6)
+
+    def test_irrational_roots(self):
+        intervals = isolate_real_roots([1, 0, -2])  # +-sqrt(2)
+        assert len(intervals) == 2
+        sqrt2 = Fraction(2**0.5)
+        assert intervals[1][0] <= sqrt2 <= intervals[1][1] or abs(
+            float(intervals[1][0]) - 2**0.5
+        ) < 1e-5
+
+    def test_close_roots_separated(self):
+        poly = poly_from_roots([Fraction(1), Fraction(1001, 1000)])
+        intervals = isolate_real_roots(poly, precision=Fraction(1, 10**4))
+        assert len(intervals) == 2
+        assert intervals[0][1] <= intervals[1][0]
+
+    def test_no_real_roots_empty(self):
+        assert isolate_real_roots([1, 0, 1]) == []
+
+    def test_constant_polynomial(self):
+        assert isolate_real_roots([3]) == []
+
+
+class TestEigenvalues:
+    def test_diagonal_matrix(self):
+        m = RationalMatrix.diagonal([1, 4, 9])
+        intervals = eigenvalue_intervals(m)
+        assert len(intervals) == 3
+        for (lo, hi), eig in zip(intervals, [1, 4, 9]):
+            assert lo <= eig <= hi
+
+    def test_requires_symmetric(self):
+        with pytest.raises(ValueError):
+            eigenvalue_intervals(RationalMatrix([[1, 2], [0, 1]]))
+
+    def test_lambda_min_bounds_certify_definiteness(self):
+        m = RationalMatrix([[2, 1], [1, 2]])  # eigenvalues 1, 3
+        lo, hi = lambda_min_bounds(m)
+        assert lo <= 1 <= hi
+        assert lo > 0  # exact proof of positive definiteness
+
+    def test_lambda_min_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        g = rng.integers(-4, 5, size=(4, 4))
+        m = RationalMatrix((g + g.T).tolist())
+        lo, hi = lambda_min_bounds(m, precision=Fraction(1, 10**8))
+        expected = float(np.linalg.eigvalsh(m.to_numpy())[0])
+        assert float(lo) <= expected + 1e-7
+        assert float(hi) >= expected - 1e-7
+
+    def test_validated_candidate_margin(self):
+        """The definiteness *margin* of a validated Lyapunov matrix:
+        lambda_min bounds quantify what the rounding sweep consumes."""
+        from repro.engine import case_by_name
+        from repro.lyapunov import synthesize
+
+        a = case_by_name("size3").mode_matrix(0)
+        candidate = synthesize("lmi-alpha+", a, backend="shift")
+        p_exact = candidate.exact_p(6)
+        lo, _hi = lambda_min_bounds(p_exact, precision=Fraction(1, 10**3))
+        assert lo > 0  # exact margin proof
+        # lmi-alpha+ enforces P >= nu I with nu = 1: the margin shows it.
+        assert lo > Fraction(1, 2)

@@ -1,0 +1,161 @@
+"""Tests for PI controllers and the closed-loop reformulation."""
+
+import numpy as np
+import pytest
+
+from repro.systems import (
+    OutputGuard,
+    PIGains,
+    StateSpace,
+    SwitchedPIController,
+    build_closed_loop,
+    closed_loop_matrices,
+    fixed_mode_closed_loop,
+    lift_guard,
+)
+
+
+def siso_plant():
+    # x' = -x + u, y = x.
+    return StateSpace([[-1.0]], [[1.0]], [[1.0]])
+
+
+def siso_gains(kp=2.0, ki=3.0):
+    return PIGains([[kp]], [[ki]])
+
+
+def two_mode_controller():
+    """Mode 0 active when y >= 1 (non-strict), mode 1 when y < 1."""
+    guard0 = OutputGuard(g=[1.0], f=[0.0], h=-1.0)  # y - 1 >= 0
+    guard1 = OutputGuard(g=[-1.0], f=[0.0], h=1.0, strict=True)  # 1 - y > 0
+    return SwitchedPIController(
+        gains=[siso_gains(2.0, 3.0), siso_gains(1.0, 5.0)],
+        guards=[[guard0], [guard1]],
+    )
+
+
+class TestPIGains:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PIGains(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_dimensions(self):
+        gains = PIGains(np.ones((3, 4)), np.zeros((3, 4)))
+        assert gains.n_inputs == 3
+        assert gains.n_outputs == 4
+
+
+class TestSwitchedController:
+    def test_mode_selection(self):
+        controller = two_mode_controller()
+        assert controller.mode_of([2.0], [0.0]) == 0
+        assert controller.mode_of([0.5], [0.0]) == 1
+        assert controller.mode_of([1.0], [0.0]) == 0  # boundary is mode 0
+
+    def test_guard_with_reference(self):
+        # Case-study-style guard: y0 - r0 + Theta > 0.
+        guard = OutputGuard(g=[1.0], f=[-1.0], h=1.0, strict=True)
+        assert guard.holds(np.array([5.0]), np.array([5.5]))
+        assert not guard.holds(np.array([3.0]), np.array([5.0]))
+
+    def test_no_cover_raises(self):
+        guard = OutputGuard(g=[1.0], f=[0.0], h=0.0)
+        controller = SwitchedPIController([siso_gains()], [[guard]])
+        with pytest.raises(ValueError):
+            controller.mode_of([-1.0], [0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwitchedPIController([], [])
+        with pytest.raises(ValueError):
+            SwitchedPIController([siso_gains()], [[], []])
+        with pytest.raises(ValueError):
+            SwitchedPIController(
+                [siso_gains(), PIGains(np.ones((2, 2)), np.ones((2, 2)))],
+                [[], []],
+            )
+
+
+class TestClosedLoopMatrices:
+    def test_known_siso(self):
+        """Hand-computed 2x2 closed loop for the SISO plant."""
+        plant = siso_plant()
+        gains = siso_gains(kp=2.0, ki=3.0)
+        a_cl, b_cl = closed_loop_matrices(plant, gains)
+        # N = -kp*c*a - ki*c = -2*1*(-1) - 3*1 = -1; M = -kp*c*b = -2.
+        assert np.allclose(a_cl, [[-1.0, 1.0], [-1.0, -2.0]])
+        assert np.allclose(b_cl, [[0.0], [3.0]])
+
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            closed_loop_matrices(siso_plant(), PIGains(np.ones((1, 2)), np.ones((1, 2))))
+        with pytest.raises(ValueError):
+            closed_loop_matrices(siso_plant(), PIGains(np.ones((2, 1)), np.ones((2, 1))))
+
+    def test_equilibrium_tracks_reference(self):
+        """The closed-loop equilibrium must put y = r (integral action)."""
+        plant = siso_plant()
+        flow = fixed_mode_closed_loop(plant, siso_gains(), r=np.array([2.5]))
+        w_eq = flow.equilibrium()
+        y_eq = plant.c @ w_eq[: plant.n_states]
+        assert y_eq == pytest.approx([2.5])
+
+    def test_closed_loop_is_stable_for_good_gains(self):
+        flow = fixed_mode_closed_loop(siso_plant(), siso_gains(), r=np.array([1.0]))
+        assert flow.is_stable()
+
+    def test_derivative_matches_component_equations(self):
+        """w' from the block matrix equals the direct PI derivation (Eq. 21)."""
+        plant = siso_plant()
+        gains = siso_gains()
+        flow = fixed_mode_closed_loop(plant, gains, r=np.array([1.0]))
+        w = np.array([0.3, -0.7])
+        x, u = w[:1], w[1:]
+        x_dot = plant.a @ x + plant.b @ u
+        y = plant.c @ x
+        y_dot = plant.c @ x_dot
+        u_dot = -gains.kp @ y_dot + gains.ki @ (np.array([1.0]) - y)
+        assert flow.derivative(w) == pytest.approx(
+            np.concatenate([x_dot, u_dot])
+        )
+
+
+class TestLiftGuardAndBuild:
+    def test_lift_guard(self):
+        plant = siso_plant()
+        guard = OutputGuard(g=[2.0], f=[-1.0], h=0.5, strict=True)
+        halfspace = lift_guard(plant, guard, r=np.array([3.0]))
+        # normal = (C^T g, 0) = (2, 0); offset = -3 + 0.5.
+        assert list(halfspace.normal_float()) == [2.0, 0.0]
+        assert float(halfspace.offset) == -2.5
+        assert halfspace.strict
+
+    def test_build_closed_loop_structure(self):
+        system = build_closed_loop(
+            siso_plant(), two_mode_controller(), r=np.array([0.0])
+        )
+        assert system.n_modes == 2
+        assert system.dimension == 2
+        # Regions partition: every sampled point belongs to exactly one.
+        rng = np.random.default_rng(1)
+        for point in rng.normal(size=(100, 2)):
+            memberships = [
+                mode.region.contains(list(point)) for mode in system.modes
+            ]
+            assert sum(memberships) == 1
+
+    def test_build_validates_dimensions(self):
+        wrong = SwitchedPIController(
+            [PIGains(np.ones((1, 2)), np.ones((1, 2)))],
+            [[OutputGuard(g=[1.0, 0.0], f=[0.0, 0.0], h=0.0)]],
+        )
+        with pytest.raises(ValueError):
+            build_closed_loop(siso_plant(), wrong, r=np.zeros(2))
+
+    def test_mode_flows_differ(self):
+        system = build_closed_loop(
+            siso_plant(), two_mode_controller(), r=np.array([0.0])
+        )
+        a0 = system.modes[0].flow.a
+        a1 = system.modes[1].flow.a
+        assert not np.allclose(a0, a1)

@@ -1,0 +1,86 @@
+"""Tests for StateSpace and AffineSystem (repro.systems.statespace)."""
+
+import numpy as np
+import pytest
+
+from repro.exact import RationalMatrix
+from repro.systems import AffineSystem, StateSpace
+
+
+def example_siso():
+    # x' = -2x + u, y = 3x: DC gain 3/2.
+    return StateSpace(a=[[-2.0]], b=[[1.0]], c=[[3.0]])
+
+
+class TestStateSpace:
+    def test_dimensions(self):
+        sys = StateSpace(np.eye(3) * -1, np.ones((3, 2)), np.ones((1, 3)))
+        assert sys.n_states == 3
+        assert sys.n_inputs == 2
+        assert sys.n_outputs == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            StateSpace(np.ones((2, 3)), np.ones((2, 1)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            StateSpace(np.eye(2), np.ones((3, 1)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            StateSpace(np.eye(2), np.ones((2, 1)), np.ones((1, 3)))
+
+    def test_poles_and_stability(self):
+        sys = example_siso()
+        assert np.allclose(sys.poles(), [-2.0])
+        assert sys.is_stable()
+        assert sys.spectral_abscissa() == -2.0
+        unstable = StateSpace([[1.0]], [[1.0]], [[1.0]])
+        assert not unstable.is_stable()
+
+    def test_dc_gain(self):
+        assert example_siso().dc_gain() == pytest.approx(np.array([[1.5]]))
+
+    def test_equilibrium(self):
+        sys = example_siso()
+        x_eq = sys.equilibrium(np.array([4.0]))
+        assert x_eq == pytest.approx([2.0])
+        assert sys.derivative(x_eq, [4.0]) == pytest.approx([0.0])
+
+    def test_output(self):
+        assert example_siso().output([2.0]) == pytest.approx([6.0])
+
+    def test_exact_roundtrip(self):
+        sys = example_siso()
+        a, b, c = sys.exact()
+        assert isinstance(a, RationalMatrix)
+        assert a[0, 0] == -2
+
+    def test_rounded_to_integers(self):
+        sys = StateSpace([[-1.6]], [[0.4]], [[2.5]])
+        rounded = sys.rounded_to_integers()
+        assert rounded.a[0, 0] == -2.0
+        assert rounded.b[0, 0] == 0.0
+        assert rounded.c[0, 0] == 2.0  # banker's rounding
+
+    def test_repr(self):
+        assert "n=1" in repr(example_siso())
+
+
+class TestAffineSystem:
+    def test_equilibrium(self):
+        sys = AffineSystem([[-1.0, 0.0], [0.0, -2.0]], [2.0, 4.0])
+        assert sys.equilibrium() == pytest.approx([2.0, 2.0])
+        assert sys.derivative(sys.equilibrium()) == pytest.approx([0.0, 0.0])
+
+    def test_stability(self):
+        assert AffineSystem([[-1.0]], [0.0]).is_stable()
+        assert not AffineSystem([[0.5]], [0.0]).is_stable()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineSystem(np.ones((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            AffineSystem(np.eye(2), np.zeros(3))
+
+    def test_exact(self):
+        a, b = AffineSystem([[-1.0]], [0.5]).exact()
+        assert a[0, 0] == -1
+        assert b[0, 0] == 0.5
