@@ -56,8 +56,9 @@ def test_coefficient_complexity(benchmark, sigfigs):
 
 
 def test_shape_gauss_not_slower_than_sylvester(exact_matrices):
-    """Sylvester recomputes leading minors from scratch (n determinants);
-    one elimination pass must not lose to it at the largest size."""
+    """Sylvester now streams all leading minors from a single Bareiss
+    pass (it used to recompute each from scratch — n determinants);
+    the Gauss elimination check must stay in the same league."""
     import time
 
     matrix = exact_matrices["size10"]

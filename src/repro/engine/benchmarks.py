@@ -74,13 +74,18 @@ class BenchmarkCase:
 
 
 @lru_cache(maxsize=1)
+def _engine_plant():
+    return build_engine_plant()
+
+
+@lru_cache(maxsize=1)
 def _balanced_engine():
-    return balance(build_engine_plant())
+    return balance(_engine_plant())
 
 
 @lru_cache(maxsize=None)
 def _make_case(size: int, integer: bool) -> BenchmarkCase:
-    full = build_engine_plant()
+    full = _engine_plant()
     plant = full if size == full.n_states else _balanced_engine().truncate(size)
     if integer:
         plant = plant.rounded_to_integers()
@@ -88,18 +93,30 @@ def _make_case(size: int, integer: bool) -> BenchmarkCase:
     return BenchmarkCase(name=name, size=size, integer=integer, plant=plant)
 
 
-def benchmark_suite(
-    sizes: tuple[int, ...] = DEFAULT_SIZES,
-    integer_sizes: tuple[int, ...] = INTEGER_SIZES,
-) -> list[BenchmarkCase]:
-    """All plant variants, smallest first, integer variants before float
-    (matching the paper's per-size grouping of 4 or 2 single-mode cases)."""
+@lru_cache(maxsize=None)
+def _suite_cached(
+    sizes: tuple[int, ...], integer_sizes: tuple[int, ...]
+) -> tuple[BenchmarkCase, ...]:
     cases = []
     for size in sorted(sizes):
         if size in integer_sizes:
             cases.append(_make_case(size, True))
         cases.append(_make_case(size, False))
-    return cases
+    return tuple(cases)
+
+
+def benchmark_suite(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    integer_sizes: tuple[int, ...] = INTEGER_SIZES,
+) -> list[BenchmarkCase]:
+    """All plant variants, smallest first, integer variants before float
+    (matching the paper's per-size grouping of 4 or 2 single-mode cases).
+
+    Memoized per process: the engine model and its balanced-truncation
+    ladder are built at most once, no matter how many experiments (or
+    runner tasks in one worker) request the suite.
+    """
+    return list(_suite_cached(tuple(sizes), tuple(integer_sizes)))
 
 
 def case_by_name(name: str) -> BenchmarkCase:

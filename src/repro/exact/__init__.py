@@ -25,7 +25,9 @@ from .factor import (
     determinant,
     gauss_pivots,
     inverse,
+    iter_leading_principal_minors,
     ldl,
+    leading_principal_minors,
     rank,
     solve,
     solve_vector,
@@ -58,6 +60,8 @@ __all__ = [
     "fraction_to_float",
     "bareiss_determinant",
     "determinant",
+    "leading_principal_minors",
+    "iter_leading_principal_minors",
     "gauss_pivots",
     "solve",
     "solve_vector",

@@ -1,7 +1,8 @@
 """Exact factorizations and elimination over the rationals.
 
-Provides the determinant (Bareiss fraction-free algorithm), exact
-Gaussian elimination with partial pivoting (solve / inverse / rank),
+Provides the determinant (Bareiss fraction-free algorithm), all leading
+principal minors in a single fraction-free pass, exact Gaussian
+elimination with partial pivoting (solve / inverse / rank),
 fraction-free elimination pivots (the SymPy-style definiteness check),
 and an LDL^T factorization for symmetric matrices.
 """
@@ -9,7 +10,7 @@ and an LDL^T factorization for symmetric matrices.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from .matrix import RationalMatrix
 from .rational import Number, to_fraction
@@ -17,6 +18,8 @@ from .rational import Number, to_fraction
 __all__ = [
     "bareiss_determinant",
     "determinant",
+    "leading_principal_minors",
+    "iter_leading_principal_minors",
     "gauss_pivots",
     "solve",
     "inverse",
@@ -58,6 +61,65 @@ def bareiss_determinant(matrix: RationalMatrix) -> Fraction:
 def determinant(matrix: RationalMatrix) -> Fraction:
     """Alias for :func:`bareiss_determinant` (the library's default)."""
     return bareiss_determinant(matrix)
+
+
+def iter_leading_principal_minors(matrix: RationalMatrix) -> Iterator[Fraction]:
+    """Yield all ``n`` leading principal minors, smallest first, from one
+    Bareiss elimination pass.
+
+    In fraction-free Bareiss elimination *without row exchanges*, the
+    diagonal entry at position ``k`` right before stage ``k`` equals the
+    determinant of the leading ``(k+1) x (k+1)`` submatrix, so one
+    elimination yields every minor as a by-product — Θ(n³) total versus
+    Θ(n⁴) for ``n`` independent determinants. Consumers that stop early
+    (Sylvester's criterion on the first non-positive minor) pay only for
+    the stages they consume. Symmetric input keeps the working matrix
+    symmetric, so only the lower triangle is eliminated and mirrored.
+
+    A zero minor stalls the fraction-free recurrence (no pivoting is
+    allowed — row swaps would change *which* minors appear); the
+    remaining minors are then produced by independent per-``k``
+    determinants, preserving exactness on singular leading blocks.
+    """
+    if not matrix.is_square():
+        raise ValueError("leading principal minors of a non-square matrix")
+    n = matrix.rows
+    m = [row[:] for row in matrix.tolist()]
+    symmetric = matrix.is_symmetric()
+    prev = Fraction(1)
+    for k in range(n):
+        pivot = m[k][k]
+        yield pivot
+        if k == n - 1:
+            return
+        if pivot == 0:
+            for j in range(k + 2, n + 1):
+                yield bareiss_determinant(matrix.leading_principal(j))
+            return
+        row_k = m[k]
+        for i in range(k + 1, n):
+            row_i = m[i]
+            m_ik = row_i[k]
+            stop = (i + 1) if symmetric else n
+            for j in range(k + 1, stop):
+                row_i[j] = (row_i[j] * pivot - m_ik * row_k[j]) / prev
+            row_i[k] = Fraction(0)
+        if symmetric:
+            for i in range(k + 1, n):
+                row_i = m[i]
+                for j in range(i + 1, n):
+                    row_i[j] = m[j][i]
+        prev = pivot
+
+
+def leading_principal_minors(matrix: RationalMatrix) -> list[Fraction]:
+    """All ``n`` leading principal minors of a square matrix.
+
+    Single-pass Bareiss (see :func:`iter_leading_principal_minors`);
+    ``leading_principal_minors(m)[k - 1] ==
+    bareiss_determinant(m.leading_principal(k))`` for every ``k``.
+    """
+    return list(iter_leading_principal_minors(matrix))
 
 
 def gauss_pivots(matrix: RationalMatrix) -> Optional[list[Fraction]]:

@@ -3,9 +3,15 @@
 ``--quick`` restricts every experiment to the small benchmarks so the
 whole sweep finishes in a few minutes; the full configuration mirrors
 the paper's grid (and takes correspondingly longer, dominated by the
-``eq-smt`` deadline and the ICP validators). ``--record DIR`` saves
-each experiment's rendered output as ``<experiment>_full.txt`` (or
-``_quick``), the files EXPERIMENTS.md references.
+``eq-smt`` deadline and the ICP validators). ``--jobs N`` fans each
+grid out over N worker processes (default: all CPU cores; ``--jobs 1``
+runs in-process) — results are re-sorted into submission order, so the
+rendered output is independent of N. ``--record DIR`` saves each
+experiment's rendered output as ``<experiment>_full.txt`` (or
+``_quick``), the files EXPERIMENTS.md references. Unless ``--no-bench``
+is given, per-task wall times are merged into ``BENCH_experiments.json``
+(see :mod:`repro.runner.timing` for the schema) so the performance
+trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -13,7 +19,9 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
+from ..runner import TimingCollector, resolve_jobs, write_bench
 from .figure3 import render_figure3, run_figure3
 from .piecewise import render_piecewise, run_piecewise
 from .records import dump_records
@@ -21,40 +29,56 @@ from .table1 import render_sweep, render_table1, rounding_sweep, run_table1
 from .table2 import render_table2, run_table2
 
 
-def _table1(args) -> str:
+def _runner_kwargs(args, timing):
+    return {
+        "jobs": args.jobs,
+        "task_deadline": args.task_deadline,
+        "timing": timing,
+    }
+
+
+def _table1(args, timing) -> str:
     sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
     deadline = 5.0 if args.quick else args.eq_smt_deadline
     records, candidates = run_table1(
-        sizes=sizes, eq_smt_deadline=deadline, keep_candidates=True
+        sizes=sizes, eq_smt_deadline=deadline, keep_candidates=True,
+        **_runner_kwargs(args, timing),
     )
     text = render_table1(records)
-    sweep = rounding_sweep(candidates)
+    # The 10-sigfig validations were just computed: reuse them and only
+    # re-run the aggressive rounding levels (6 and 4).
+    sweep = rounding_sweep(
+        candidates, base_records=records, jobs=args.jobs, timing=timing
+    )
     text += "\n\n" + render_sweep(sweep)
     if args.json:
         dump_records(records, args.json)
     return text
 
 
-def _figure3(args) -> str:
+def _figure3(args, timing) -> str:
     sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
-    records = run_figure3(sizes=sizes)
+    records = run_figure3(sizes=sizes, **_runner_kwargs(args, timing))
     if args.json:
         dump_records(records, args.json)
     return render_figure3(records)
 
 
-def _piecewise(args) -> str:
+def _piecewise(args, timing) -> str:
     names = ("size3",) if args.quick else ("size3", "size5")
     iterations = 6_000 if args.quick else 20_000
-    records = run_piecewise(case_names=names, max_iterations=iterations)
+    records = run_piecewise(
+        case_names=names, max_iterations=iterations,
+        **_runner_kwargs(args, timing),
+    )
     if args.json:
         dump_records(records, args.json)
     return render_piecewise(records)
 
 
-def _table2(args) -> str:
+def _table2(args, timing) -> str:
     names = ("size3", "size5") if args.quick else ("size15", "size18")
-    records = run_table2(case_names=names)
+    records = run_table2(case_names=names, **_runner_kwargs(args, timing))
     if args.json:
         dump_records(records, args.json)
     return render_table2(records)
@@ -82,6 +106,15 @@ def main(argv: list[str] | None = None) -> int:
         help="small-benchmark configuration (minutes instead of hours)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all CPU cores; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="kill any single task exceeding this wall-clock budget "
+        "(pooled mode only)",
+    )
+    parser.add_argument(
         "--eq-smt-deadline", type=float, default=60.0,
         help="wall-clock budget (s) for the exact eq-smt method",
     )
@@ -93,12 +126,29 @@ def main(argv: list[str] | None = None) -> int:
         "--record", type=str, default=None, metavar="DIR",
         help="save rendered output to DIR/<experiment>_full|_quick.txt",
     )
+    parser.add_argument(
+        "--bench", type=str, default="BENCH_experiments.json", metavar="PATH",
+        help="per-task timing artifact (merged per experiment)",
+    )
+    parser.add_argument(
+        "--no-bench", action="store_true",
+        help="skip writing the timing artifact",
+    )
     args = parser.parse_args(argv)
     chosen = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in chosen:
         if args.experiment == "all":
             print(f"\n=== {name} ===")
-        text = COMMANDS[name](args)
+        timing = None if args.no_bench else TimingCollector()
+        started = time.perf_counter()
+        text = COMMANDS[name](args, timing)
+        elapsed = time.perf_counter() - started
+        if timing is not None:
+            write_bench(
+                args.bench, name, timing,
+                jobs=resolve_jobs(args.jobs), quick=args.quick,
+                total_wall_s=elapsed,
+            )
         print(text)
         if args.record:
             suffix = "quick" if args.quick else "full"

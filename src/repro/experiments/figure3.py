@@ -20,7 +20,6 @@ from __future__ import annotations
 from collections import defaultdict
 
 from ..engine import case_by_name
-from ..validate import validate_candidate
 from .records import Figure3Record, render_grid
 from .table1 import run_table1
 
@@ -44,8 +43,18 @@ def run_figure3(
     size_caps: dict | None = None,
     sizes: tuple[int, ...] = (3, 5, 10, 15, 18),
     icp_max_boxes: int = 150_000,
+    jobs: int | None = 1,
+    task_deadline: float | None = None,
+    timing=None,
 ) -> list[Figure3Record]:
-    """Validate a shared candidate set with every registered validator."""
+    """Validate a shared candidate set with every registered validator.
+
+    Each (candidate, validator) pair is one runner task, so the slow
+    search-based validators no longer serialize the sweep when
+    ``jobs > 1``.
+    """
+    from ..runner import Figure3Task, run_tasks
+
     if size_caps is None:
         size_caps = DEFAULT_SIZE_CAPS
     if candidates is None:
@@ -57,11 +66,12 @@ def run_figure3(
             sizes=sizes,
             methods=[MethodKey("eq-num"), MethodKey("lmi", "shift")],
             keep_candidates=True,
+            jobs=jobs,
+            timing=timing,
         )
-    records: list[Figure3Record] = []
+    tasks = []
     for (case_name, mode, method, backend), candidate in candidates.items():
         case = case_by_name(case_name)
-        a = case.mode_matrix(mode)
         for validator in validators:
             if case.size > size_caps.get(validator, 18):
                 continue
@@ -70,19 +80,17 @@ def run_figure3(
                 if validator.startswith("icp")
                 else {}
             )
-            report = validate_candidate(
-                candidate, a, validator=validator, **options
-            )
-            records.append(
-                Figure3Record(
-                    case=case_name, size=case.size, mode=mode,
-                    method=method, backend=backend,
-                    validator=validator,
-                    valid=report.valid,
-                    time=report.total_time,
+            tasks.append(
+                Figure3Task(
+                    case_name=case_name, size=case.size, mode=mode,
+                    method=method, backend=backend, candidate=candidate,
+                    validator=validator, options=options,
                 )
             )
-    return records
+    outcomes = run_tasks(
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
+    )
+    return [record for record in outcomes if record is not None]
 
 
 def render_figure3(records: list[Figure3Record]) -> str:

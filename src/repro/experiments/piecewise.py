@@ -13,8 +13,7 @@ regions, so no global piecewise-quadratic certificate can exist.
 from __future__ import annotations
 
 from ..engine import case_by_name
-from ..lyapunov import ENCODINGS, synthesize_piecewise
-from ..validate import validate_piecewise
+from ..lyapunov import ENCODINGS
 from .records import PiecewiseRecord, render_grid
 
 __all__ = ["run_piecewise", "render_piecewise"]
@@ -26,38 +25,24 @@ def run_piecewise(
     max_iterations: int = 20_000,
     max_boxes: int = 6_000,
     conditions_scope: str = "surface",
+    jobs: int | None = 1,
+    task_deadline: float | None = None,
+    timing=None,
 ) -> list[PiecewiseRecord]:
-    records = []
-    for name in case_names:
-        case = case_by_name(name)
-        system = case.switched_system(case.reference())
-        for encoding in encodings:
-            candidate = synthesize_piecewise(
-                system, encoding=encoding, max_iterations=max_iterations
-            )
-            report = validate_piecewise(
-                candidate,
-                system,
-                conditions_scope=conditions_scope,
-                max_boxes=max_boxes,
-            )
-            records.append(
-                PiecewiseRecord(
-                    case=name,
-                    size=case.size,
-                    encoding=encoding,
-                    lmi_feasible=candidate.feasible,
-                    proved_infeasible=bool(
-                        candidate.info.get("proved_infeasible")
-                    ),
-                    iterations=candidate.iterations,
-                    synth_time=candidate.synthesis_time,
-                    validation_valid=report.valid,
-                    failed_conditions=report.failed_conditions,
-                    validation_time=report.time,
-                )
-            )
-    return records
+    from ..runner import PiecewiseTask, run_tasks
+
+    tasks = [
+        PiecewiseTask(
+            case_name=name, size=case_by_name(name).size, encoding=encoding,
+            max_iterations=max_iterations, max_boxes=max_boxes,
+            conditions_scope=conditions_scope,
+        )
+        for name in case_names
+        for encoding in encodings
+    ]
+    return run_tasks(
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
+    )
 
 
 def render_piecewise(records: list[PiecewiseRecord]) -> str:

@@ -5,23 +5,25 @@ For every benchmark case (size x integer-variant), each operating mode,
 and each synthesis method/backend: synthesize a candidate (``eq-smt``
 under a wall-clock deadline, like the paper's 2 h limit scaled down),
 round it at 10 significant figures, and validate both Lyapunov
-conditions exactly. The renderer aggregates per size, matching the
-paper's layout: average synthesis time and "validated / total" ratio.
+conditions exactly. The grid is enumerated as picklable tasks and
+submitted through :mod:`repro.runner` (``jobs`` worker processes;
+``jobs=1`` runs in-process); results come back in submission order, so
+parallel runs render identically to serial ones. The renderer
+aggregates per size, matching the paper's layout: average synthesis
+time and "validated / total" ratio.
 
 ``rounding_sweep`` reruns validation of the same candidates at 6 and 4
 significant figures, reproducing the paper's robustness observation
 (more aggressive rounding breaks validity; ``LMIalpha`` candidates
-survive best).
+survive best). Levels already covered by the Table I records
+(``base_records``) are reused instead of re-validated.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-from ..engine import MODES, benchmark_suite
-from ..lyapunov import SynthesisTimeout, synthesize
-from ..sdp import LmiInfeasibleError
-from ..validate import validate_candidate
+from ..engine import MODES, benchmark_suite, case_by_name
 from .records import MethodKey, Table1Record, method_rows, render_grid
 
 __all__ = ["run_table1", "render_table1", "rounding_sweep", "render_sweep"]
@@ -35,65 +37,50 @@ def run_table1(
     validator: str = "sylvester",
     sigfigs: int = 10,
     keep_candidates: bool = False,
+    jobs: int | None = 1,
+    task_deadline: float | None = None,
+    timing=None,
 ) -> tuple[list[Table1Record], dict]:
     """Run the full synthesis+validation grid.
 
     Returns the records plus (when ``keep_candidates``) a dict mapping
     ``(case, mode, method, backend)`` to the synthesized candidate —
     reused by the Figure 3 driver so the timing comparison runs on the
-    *same* candidates.
+    *same* candidates. ``jobs`` fans the grid out over worker processes
+    (``None`` = all cores); ``task_deadline`` is an optional per-task
+    wall-clock kill; ``timing`` is an optional
+    :class:`repro.runner.TimingCollector`.
     """
+    # Imported lazily: the runner's task specs import this package's
+    # records module (see repro.runner.tasks).
+    from ..runner import Table1Task, run_tasks
+
     if methods is None:
         methods = method_rows()
+    tasks = [
+        Table1Task(
+            case_name=case.name, size=case.size, mode=mode,
+            method=key.method, backend=key.backend,
+            eq_smt_deadline=eq_smt_deadline, validator=validator,
+            sigfigs=sigfigs, keep_candidate=keep_candidates,
+        )
+        for case in benchmark_suite(sizes=sizes, integer_sizes=integer_sizes)
+        for mode in MODES
+        for key in methods
+    ]
+    outcomes = run_tasks(
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
+    )
     records: list[Table1Record] = []
     candidates: dict = {}
-    for case in benchmark_suite(sizes=sizes, integer_sizes=integer_sizes):
-        for mode in MODES:
-            a = case.mode_matrix(mode)
-            for key in methods:
-                record, candidate = _run_one(
-                    case, mode, a, key, eq_smt_deadline, validator, sigfigs
-                )
-                records.append(record)
-                if keep_candidates and candidate is not None:
-                    candidates[
-                        (case.name, mode, key.method, key.backend)
-                    ] = candidate
+    for task, outcome in zip(tasks, outcomes):
+        record, candidate = outcome
+        records.append(record)
+        if keep_candidates and candidate is not None:
+            candidates[
+                (task.case_name, task.mode, task.method, task.backend)
+            ] = candidate
     return records, candidates
-
-
-def _run_one(case, mode, a, key, eq_smt_deadline, validator, sigfigs):
-    try:
-        candidate = synthesize(
-            key.method,
-            a,
-            backend=key.backend or "ipm",
-            deadline=eq_smt_deadline if key.method == "eq-smt" else None,
-        )
-    except SynthesisTimeout:
-        return Table1Record(
-            case=case.name, size=case.size, mode=mode,
-            method=key.method, backend=key.backend,
-            synth_time=None, synth_status="timeout",
-            valid=None, validation_time=None, sigfigs=sigfigs,
-        ), None
-    except (LmiInfeasibleError, ValueError):
-        return Table1Record(
-            case=case.name, size=case.size, mode=mode,
-            method=key.method, backend=key.backend,
-            synth_time=None, synth_status="infeasible",
-            valid=None, validation_time=None, sigfigs=sigfigs,
-        ), None
-    report = validate_candidate(
-        candidate, a, sigfigs=sigfigs, validator=validator
-    )
-    return Table1Record(
-        case=case.name, size=case.size, mode=mode,
-        method=key.method, backend=key.backend,
-        synth_time=candidate.synthesis_time, synth_status="ok",
-        valid=report.valid, validation_time=report.total_time,
-        sigfigs=sigfigs,
-    ), candidate
 
 
 def render_table1(records: list[Table1Record]) -> str:
@@ -107,11 +94,7 @@ def render_table1(records: list[Table1Record]) -> str:
     for size in sizes:
         headers += [f"s{size} synth", f"s{size} valid"]
     rows = []
-    seen_keys = []
-    for r in records:
-        key = (r.method, r.backend)
-        if key not in seen_keys:
-            seen_keys.append(key)
+    seen_keys = dict.fromkeys((r.method, r.backend) for r in records)
     for method, backend in seen_keys:
         row = [method, backend or "-"]
         for size in sizes:
@@ -139,38 +122,58 @@ def rounding_sweep(
     candidates: dict,
     sigfig_levels: tuple[int, ...] = (10, 6, 4),
     validator: str = "sylvester",
+    base_records: list[Table1Record] | None = None,
+    jobs: int | None = 1,
+    timing=None,
 ) -> list[Table1Record]:
-    """Re-validate stored candidates at several rounding precisions."""
-    from ..engine import case_by_name
+    """Re-validate stored candidates at several rounding precisions.
 
-    records = []
+    ``base_records`` lets the caller hand over validations already
+    computed (the Table I grid validates at 10 significant figures):
+    any ``(candidate, level)`` pair covered by a matching successful
+    base record is reused instead of re-validated, so only the
+    remaining levels actually run.
+    """
+    from ..runner import RevalidateTask, run_tasks
+
+    reuse: dict = {}
+    for record in base_records or ():
+        if record.synth_status == "ok":
+            reuse[
+                (record.case, record.mode, record.method, record.backend,
+                 record.sigfigs)
+            ] = record
+    tasks = []
+    task_index: dict = {}
     for (case_name, mode, method, backend), candidate in candidates.items():
-        case = case_by_name(case_name)
-        a = case.mode_matrix(mode)
         for sigfigs in sigfig_levels:
-            report = validate_candidate(
-                candidate, a, sigfigs=sigfigs, validator=validator
-            )
-            records.append(
-                Table1Record(
-                    case=case_name, size=case.size, mode=mode,
-                    method=method, backend=backend,
-                    synth_time=candidate.synthesis_time, synth_status="ok",
-                    valid=report.valid, validation_time=report.total_time,
-                    sigfigs=sigfigs,
+            key = (case_name, mode, method, backend, sigfigs)
+            if key in reuse:
+                continue
+            task_index[key] = len(tasks)
+            tasks.append(
+                RevalidateTask(
+                    case_name=case_name, size=case_by_name(case_name).size,
+                    mode=mode, method=method, backend=backend,
+                    candidate=candidate, sigfigs=sigfigs, validator=validator,
                 )
             )
+    outcomes = run_tasks(tasks, jobs=jobs, collect=timing)
+    records = []
+    for (case_name, mode, method, backend), _candidate in candidates.items():
+        for sigfigs in sigfig_levels:
+            key = (case_name, mode, method, backend, sigfigs)
+            if key in reuse:
+                records.append(reuse[key])
+            else:
+                records.append(outcomes[task_index[key]])
     return records
 
 
 def render_sweep(records: list[Table1Record]) -> str:
     """Invalid-candidate counts per rounding level and per method."""
     levels = sorted({r.sigfigs for r in records}, reverse=True)
-    methods = []
-    for r in records:
-        key = (r.method, r.backend)
-        if key not in methods:
-            methods.append(key)
+    methods = list(dict.fromkeys((r.method, r.backend) for r in records))
     headers = ["method", "solver"] + [f"invalid@{lvl}sf" for lvl in levels]
     rows = []
     for method, backend in methods:

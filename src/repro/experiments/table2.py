@@ -15,24 +15,7 @@ same holes (LMIalpha+/Mosek at size 18).
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from ..engine import MODES, case_by_name, mode_gains
-from ..exact import RationalMatrix, solve_vector, to_fraction
-from ..lyapunov import synthesize
-from ..robust import (
-    EpsilonInputs,
-    epsilon_radius,
-    log10_truncated_ellipsoid_volume,
-    surface_geometry,
-    synthesize_robust_level,
-    truncated_ellipsoid_volume,
-)
-from ..sdp import LmiInfeasibleError
-from ..systems import closed_loop_matrices
-from ..validate import validate_candidate
+from ..engine import MODES, case_by_name
 from .records import MethodKey, Table2Record, method_rows, render_grid
 
 __all__ = ["run_table2", "render_table2"]
@@ -43,97 +26,31 @@ def run_table2(
     methods: list[MethodKey] | None = None,
     sigfigs: int = 10,
     validator: str = "sylvester",
+    jobs: int | None = 1,
+    task_deadline: float | None = None,
+    timing=None,
 ) -> list[Table2Record]:
+    """One runner task per (case, mode, method) cell; the shared
+    per-(case, mode) geometry (switching surface, exact equilibrium) is
+    rebuilt once per worker process (see
+    :func:`repro.runner.tasks._table2_context`)."""
+    from ..runner import Table2Task, run_tasks
+
     if methods is None:
         methods = method_rows(include_eq_smt=False)
-    records: list[Table2Record] = []
-    for name in case_names:
-        case = case_by_name(name)
-        r = case.reference()
-        system = case.switched_system(r)
-        for mode in MODES:
-            flow = system.modes[mode].flow
-            halfspace = system.modes[mode].region.halfspaces[0]
-            a_exact = RationalMatrix.from_numpy(flow.a)
-            w_eq = solve_vector(
-                a_exact, [-to_fraction(x) for x in flow.b.tolist()]
-            )
-            w_eq_float = np.array([float(x) for x in w_eq])
-            _, b_cl = closed_loop_matrices(case.plant, mode_gains(mode))
-            geometry = surface_geometry(halfspace, flow)
-            for key in methods:
-                records.append(
-                    _run_one(
-                        case, mode, key, flow, halfspace, w_eq, w_eq_float,
-                        b_cl, geometry, sigfigs, validator,
-                    )
-                )
-    return records
-
-
-def _run_one(
-    case, mode, key, flow, halfspace, w_eq, w_eq_float, b_cl, geometry,
-    sigfigs, validator,
-):
-    base = dict(
-        case=case.name, size=case.size, mode=mode,
-        method=key.method, backend=key.backend,
-    )
-    try:
-        candidate = synthesize(
-            key.method, flow.a, backend=key.backend or "ipm"
+    tasks = [
+        Table2Task(
+            case_name=name, size=case_by_name(name).size, mode=mode,
+            method=key.method, backend=key.backend,
+            sigfigs=sigfigs, validator=validator,
         )
-    except (LmiInfeasibleError, ValueError):
-        return Table2Record(
-            **base, time=None, volume=None, log10_volume=None,
-            epsilon=None, k=None, region_case=None,
-            skipped_reason="synthesis failed",
-        )
-    report = validate_candidate(
-        candidate, flow.a, sigfigs=sigfigs, validator=validator
+        for name in case_names
+        for mode in MODES
+        for key in methods
+    ]
+    return run_tasks(
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
     )
-    if report.valid is not True:
-        # The paper leaves such cells empty (e.g. LMIalpha+/Mosek, size 18).
-        return Table2Record(
-            **base, time=None, volume=None, log10_volume=None,
-            epsilon=None, k=None, region_case=None,
-            skipped_reason="candidate not validated",
-        )
-    start = time.perf_counter()
-    p_exact = candidate.exact_p(sigfigs)
-    region = synthesize_robust_level(flow, halfspace, p_exact, w_eq=w_eq)
-    elapsed = time.perf_counter() - start
-    if not region.bounded:
-        return Table2Record(
-            **base, time=elapsed, volume=float("inf"),
-            log10_volume=float("inf"), epsilon=_epsilon(
-                flow, b_cl, candidate.p, float("inf"), w_eq_float, geometry
-            ),
-            k=float("inf"), region_case=region.case,
-        )
-    k_float = region.k_float()
-    normal = halfspace.normal_float()
-    volume = truncated_ellipsoid_volume(
-        candidate.p, k_float, w_eq_float, normal, float(halfspace.offset)
-    )
-    log_volume = log10_truncated_ellipsoid_volume(
-        candidate.p, k_float, w_eq_float, normal, float(halfspace.offset)
-    )
-    epsilon = _epsilon(
-        flow, b_cl, candidate.p, k_float, w_eq_float, geometry
-    )
-    return Table2Record(
-        **base, time=elapsed, volume=volume, log10_volume=log_volume,
-        epsilon=epsilon, k=k_float, region_case=region.case,
-    )
-
-
-def _epsilon(flow, b_cl, p, k, w_eq_float, geometry):
-    inputs = EpsilonInputs(
-        flow_a=flow.a, b_cl=b_cl, p=p,
-        k=min(k, 1e300), w_eq=w_eq_float, geometry=geometry,
-    )
-    return epsilon_radius(inputs)
 
 
 def render_table2(records: list[Table2Record]) -> str:

@@ -1,0 +1,36 @@
+"""Parallel experiment execution (process pool, timing, task protocol).
+
+The paper's headline cost is the Table I / Table II / Figure 3 grid —
+hundreds of independent ``(case, mode, method, backend)``
+synthesis+validation tasks. :func:`run_tasks` fans them out over
+shared-nothing worker processes with per-task wall-clock deadlines and
+deterministic result ordering, degrading gracefully to in-process
+execution (``jobs=1`` or no usable pool); :mod:`repro.runner.timing`
+records per-task wall times into the ``BENCH_experiments.json``
+performance-trajectory artifact.
+"""
+
+from .core import Task, resolve_jobs, run_tasks
+from .tasks import (
+    Figure3Task,
+    PiecewiseTask,
+    RevalidateTask,
+    Table1Task,
+    Table2Task,
+)
+from .timing import BENCH_SCHEMA, TaskTiming, TimingCollector, write_bench
+
+__all__ = [
+    "Task",
+    "run_tasks",
+    "resolve_jobs",
+    "Table1Task",
+    "RevalidateTask",
+    "Figure3Task",
+    "Table2Task",
+    "PiecewiseTask",
+    "TaskTiming",
+    "TimingCollector",
+    "write_bench",
+    "BENCH_SCHEMA",
+]

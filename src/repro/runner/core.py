@@ -1,0 +1,330 @@
+"""Process-pool execution of independent experiment tasks.
+
+The experiment grids (Table I / Table II / Figure 3 / the piecewise
+sweep) are embarrassingly parallel: hundreds of independent
+``(case, mode, method, backend)`` synthesis+validation tasks. This
+module fans them out over a small pool of shared-nothing worker
+processes while keeping the *observable* behaviour identical to a
+serial run:
+
+* **Deterministic ordering** — results are keyed by submission index
+  and returned in submission order, regardless of completion order, so
+  parallel output renders byte-identically to serial (modulo measured
+  wall times, which are stochastic either way).
+* **Per-task deadlines** — a task that exceeds ``task_deadline``
+  seconds has its worker terminated and its :meth:`Task.on_timeout`
+  result recorded; a hung ``eq-smt`` call no longer serializes the
+  whole sweep. (Deadlines are only enforceable in pooled mode — an
+  in-process task cannot be killed.)
+* **Graceful degradation** — ``jobs=1``, an unavailable
+  ``multiprocessing`` context, or a failed worker spawn all fall back
+  to plain in-process execution; a worker that dies mid-task without
+  reporting gets its task re-run in-process.
+* **Shared-nothing protocol** — tasks are small picklable specs
+  (:mod:`repro.runner.tasks`) that resolve benchmark cases *by name*
+  and rebuild matrices locally in the worker. Workers are persistent,
+  so per-process caches (the balanced-truncation ladder) are built at
+  most once per worker — and, under the preferred ``fork`` start
+  method, inherited from the parent for free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from multiprocessing.connection import wait as _wait_ready
+
+from .timing import TaskTiming, TimingCollector
+
+__all__ = ["Task", "run_tasks", "resolve_jobs"]
+
+#: Seconds between scheduler polls while waiting on busy workers.
+_POLL_INTERVAL = 0.05
+
+
+class Task:
+    """Base class for runner tasks.
+
+    Subclasses must be picklable (defined at module level, plain
+    attributes) and implement :meth:`run`. The failure hooks translate
+    runner-level events into domain results so a sweep always yields a
+    full, ordered result list.
+    """
+
+    def run(self):
+        """Execute the task and return its result (runs in a worker)."""
+        raise NotImplementedError
+
+    def key(self) -> dict | None:
+        """Identifying fields for timing records, e.g. ``{"case": ...}``."""
+        return None
+
+    def on_timeout(self, elapsed: float):
+        """Result recorded when the runner kills the task at its deadline."""
+        return None
+
+    def on_error(self, message: str):
+        """Result recorded when the task raises (or its worker crashes)."""
+        return None
+
+    def timing_detail(self, result) -> dict:
+        """Extra per-task timing fields extracted from a successful result."""
+        return {}
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None`` means all CPU cores; anything below 1 is clamped to 1."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def run_tasks(
+    tasks,
+    jobs: int | None = 1,
+    task_deadline: float | None = None,
+    collect: TimingCollector | None = None,
+) -> list:
+    """Run every task and return their results in submission order.
+
+    ``jobs=None`` uses all CPU cores, ``jobs=1`` runs in-process (no
+    pool, no deadline enforcement). ``collect`` receives one
+    :class:`~repro.runner.timing.TaskTiming` per task.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    jobs = min(resolve_jobs(jobs), len(tasks))
+    if jobs == 1:
+        return [_run_local(task, collect) for task in tasks]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork: spawn still works,
+        context = multiprocessing.get_context()  # caches warm per worker
+    return _run_pooled(tasks, jobs, context, task_deadline, collect)
+
+
+# ----------------------------------------------------------------------
+# In-process execution (the jobs=1 path and the fallback of last resort)
+# ----------------------------------------------------------------------
+
+def _run_local(task: Task, collect, status: str = "ok"):
+    start = time.perf_counter()
+    try:
+        result = task.run()
+    except Exception as exc:
+        result = task.on_error(f"{type(exc).__name__}: {exc}")
+        status = "error"
+    _record(collect, task, status, time.perf_counter() - start, "local", result)
+    return result
+
+
+def _record(collect, task, status, wall, worker, result):
+    if collect is None:
+        return
+    detail: dict = {}
+    if status in ("ok", "fallback"):
+        try:
+            detail = task.timing_detail(result) or {}
+        except Exception:
+            detail = {}
+    collect.record(
+        TaskTiming(
+            key=task.key(), status=status, wall_s=wall,
+            worker=str(worker), detail=detail,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Pooled execution
+# ----------------------------------------------------------------------
+
+def _worker_loop(connection):
+    """Persistent worker: receive ``(index, task)``, send back
+    ``(index, status, payload)``; ``None`` shuts the worker down."""
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, task = message
+        try:
+            payload = (index, "ok", task.run())
+        except BaseException as exc:  # report, don't kill the worker
+            payload = (index, "error", f"{type(exc).__name__}: {exc}")
+        try:
+            connection.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        connection.close()
+    except OSError:
+        pass
+
+
+class _Worker:
+    __slots__ = ("process", "connection", "index", "task", "started")
+
+    def __init__(self, process, connection):
+        self.process = process
+        self.connection = connection
+        self.index = None  # submission index of the in-flight task
+        self.task = None
+        self.started = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+    def clear(self) -> None:
+        self.index = self.task = None
+
+    def stop(self) -> None:
+        try:
+            if self.process.is_alive():
+                self.connection.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+
+def _spawn_worker(context) -> _Worker:
+    parent_end, child_end = context.Pipe(duplex=True)
+    process = context.Process(
+        target=_worker_loop, args=(child_end,), daemon=True
+    )
+    process.start()
+    child_end.close()
+    return _Worker(process, parent_end)
+
+
+def _run_pooled(tasks, jobs, context, task_deadline, collect):
+    results = [None] * len(tasks)
+    done = [False] * len(tasks)
+    pending = deque(enumerate(tasks))
+    workers: list[_Worker] = []
+
+    def finish(index, task, status, wall, worker_label, result):
+        results[index] = result
+        done[index] = True
+        _record(collect, task, status, wall, worker_label, result)
+
+    try:
+        for _ in range(jobs):
+            try:
+                workers.append(_spawn_worker(context))
+            except (OSError, ValueError):
+                break
+        while pending or any(w.busy for w in workers):
+            if not workers:
+                # Pool unavailable (or every worker lost): degrade to
+                # in-process execution for whatever remains.
+                while pending:
+                    index, task = pending.popleft()
+                    results[index] = _run_local(task, collect)
+                    done[index] = True
+                break
+            for worker in workers:
+                if not worker.busy and pending:
+                    index, task = pending.popleft()
+                    try:
+                        worker.connection.send((index, task))
+                    except Exception:
+                        # Unpicklable task or broken pipe: run it here.
+                        results[index] = _run_local(task, collect)
+                        done[index] = True
+                        continue
+                    worker.index, worker.task = index, task
+                    worker.started = time.monotonic()
+            busy = [w for w in workers if w.busy]
+            if not busy:
+                continue
+            ready = _wait_ready(
+                [w.connection for w in busy], timeout=_POLL_INTERVAL
+            )
+            now = time.monotonic()
+            for worker in busy:
+                if worker.connection in ready:
+                    if not _collect_reply(worker, finish, now):
+                        workers = _replace(workers, worker, context, pending)
+                elif not worker.process.is_alive():
+                    # Died without reporting (segfault, os._exit): give
+                    # any in-flight reply a last chance, then fall back.
+                    if not _collect_reply(worker, finish, now):
+                        finish(
+                            worker.index, worker.task, "fallback",
+                            now - worker.started, "local",
+                            _run_local(worker.task, None),
+                        )
+                        worker.clear()
+                    workers = _replace(workers, worker, context, pending)
+                elif (
+                    task_deadline is not None
+                    and now - worker.started > task_deadline
+                ):
+                    elapsed = now - worker.started
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+                    finish(
+                        worker.index, worker.task, "timeout", elapsed,
+                        worker.process.pid,
+                        worker.task.on_timeout(elapsed),
+                    )
+                    worker.clear()
+                    workers = _replace(workers, worker, context, pending)
+    finally:
+        for worker in workers:
+            worker.stop()
+    # Anything not yet finished (shouldn't happen, but never return
+    # holes): run it in-process.
+    for index, task in enumerate(tasks):
+        if not done[index]:
+            results[index] = _run_local(task, collect)
+    return results
+
+
+def _collect_reply(worker, finish, now) -> bool:
+    """Receive one reply from ``worker`` if available; ``True`` on success."""
+    try:
+        if not worker.connection.poll():
+            return False
+        index, status, payload = worker.connection.recv()
+    except (EOFError, OSError):
+        return False
+    task = worker.task
+    elapsed = now - worker.started
+    if status == "ok":
+        finish(index, task, "ok", elapsed, worker.process.pid, payload)
+    else:
+        finish(
+            index, task, "error", elapsed, worker.process.pid,
+            task.on_error(payload),
+        )
+    worker.clear()
+    return True
+
+
+def _replace(workers, dead, context, pending):
+    """Swap a stopped worker for a fresh one (only while work remains)."""
+    remaining = [w for w in workers if w is not dead]
+    if dead.process.is_alive():
+        return workers  # still healthy — keep it
+    dead.stop()
+    if pending:
+        try:
+            remaining.append(_spawn_worker(context))
+        except (OSError, ValueError):
+            pass
+    return remaining

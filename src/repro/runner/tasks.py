@@ -1,0 +1,390 @@
+"""Picklable experiment tasks (the runner's shared-nothing protocol).
+
+A task pickles as a handful of strings/numbers (plus, for
+validation-only tasks, the candidate being validated): workers resolve
+benchmark cases *by name* via :func:`repro.engine.case_by_name` and
+rebuild matrices locally, so nothing heavyweight crosses the pipe.
+Per-process ``lru_cache``s (the benchmark ladder, the Table II
+mode context) make the rebuilds one-time costs per worker.
+
+Import note: this module imports :mod:`repro.experiments.records`
+(pure dataclasses), while the experiment *drivers* import the runner
+lazily inside their ``run_*`` functions — that keeps the
+``experiments -> runner -> experiments.records`` chain acyclic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..engine import case_by_name, mode_gains
+from ..exact import RationalMatrix, solve_vector, to_fraction
+from ..experiments.records import (
+    Figure3Record,
+    PiecewiseRecord,
+    Table1Record,
+    Table2Record,
+)
+from ..lyapunov import SynthesisTimeout, synthesize, synthesize_piecewise
+from ..sdp import LmiInfeasibleError
+from ..systems import closed_loop_matrices
+from ..validate import validate_candidate, validate_piecewise
+from .core import Task
+
+__all__ = [
+    "Table1Task",
+    "RevalidateTask",
+    "Figure3Task",
+    "Table2Task",
+    "PiecewiseTask",
+]
+
+
+class Table1Task(Task):
+    """One Table I cell: synthesize a candidate, validate it exactly."""
+
+    def __init__(
+        self, case_name, size, mode, method, backend,
+        eq_smt_deadline, validator, sigfigs, keep_candidate=False,
+    ):
+        self.case_name = case_name
+        self.size = size
+        self.mode = mode
+        self.method = method
+        self.backend = backend
+        self.eq_smt_deadline = eq_smt_deadline
+        self.validator = validator
+        self.sigfigs = sigfigs
+        self.keep_candidate = keep_candidate
+
+    def key(self):
+        return {
+            "case": self.case_name, "mode": self.mode,
+            "method": self.method, "backend": self.backend,
+        }
+
+    def run(self):
+        case = case_by_name(self.case_name)
+        a = case.mode_matrix(self.mode)
+        try:
+            candidate = synthesize(
+                self.method, a, backend=self.backend or "ipm",
+                deadline=(
+                    self.eq_smt_deadline if self.method == "eq-smt" else None
+                ),
+            )
+        except SynthesisTimeout:
+            return self._failed("timeout")
+        except (LmiInfeasibleError, ValueError):
+            return self._failed("infeasible")
+        report = validate_candidate(
+            candidate, a, sigfigs=self.sigfigs, validator=self.validator
+        )
+        record = Table1Record(
+            case=self.case_name, size=self.size, mode=self.mode,
+            method=self.method, backend=self.backend,
+            synth_time=candidate.synthesis_time, synth_status="ok",
+            valid=report.valid, validation_time=report.total_time,
+            sigfigs=self.sigfigs,
+        )
+        return record, (candidate if self.keep_candidate else None)
+
+    def _failed(self, status):
+        return Table1Record(
+            case=self.case_name, size=self.size, mode=self.mode,
+            method=self.method, backend=self.backend,
+            synth_time=None, synth_status=status,
+            valid=None, validation_time=None, sigfigs=self.sigfigs,
+        ), None
+
+    def on_timeout(self, elapsed):
+        return self._failed("timeout")
+
+    def on_error(self, message):
+        return self._failed("error")
+
+    def timing_detail(self, result):
+        record, _candidate = result
+        detail = {}
+        if record.synth_time is not None:
+            detail["synth_s"] = record.synth_time
+        if record.validation_time is not None:
+            detail["validate_s"] = record.validation_time
+        return detail
+
+
+class RevalidateTask(Task):
+    """Re-validate an existing candidate at a different rounding level."""
+
+    def __init__(
+        self, case_name, size, mode, method, backend,
+        candidate, sigfigs, validator,
+    ):
+        self.case_name = case_name
+        self.size = size
+        self.mode = mode
+        self.method = method
+        self.backend = backend
+        self.candidate = candidate
+        self.sigfigs = sigfigs
+        self.validator = validator
+
+    def key(self):
+        return {
+            "case": self.case_name, "mode": self.mode,
+            "method": self.method, "backend": self.backend,
+            "sigfigs": self.sigfigs,
+        }
+
+    def run(self):
+        case = case_by_name(self.case_name)
+        a = case.mode_matrix(self.mode)
+        report = validate_candidate(
+            self.candidate, a, sigfigs=self.sigfigs, validator=self.validator
+        )
+        return self._record(report.valid, report.total_time)
+
+    def _record(self, valid, validation_time):
+        return Table1Record(
+            case=self.case_name, size=self.size, mode=self.mode,
+            method=self.method, backend=self.backend,
+            synth_time=self.candidate.synthesis_time, synth_status="ok",
+            valid=valid, validation_time=validation_time,
+            sigfigs=self.sigfigs,
+        )
+
+    def on_timeout(self, elapsed):
+        return self._record(None, None)
+
+    def on_error(self, message):
+        return self._record(None, None)
+
+    def timing_detail(self, result):
+        if result.validation_time is None:
+            return {}
+        return {"validate_s": result.validation_time}
+
+
+class Figure3Task(Task):
+    """Validate one shared candidate with one registered validator."""
+
+    def __init__(
+        self, case_name, size, mode, method, backend,
+        candidate, validator, options,
+    ):
+        self.case_name = case_name
+        self.size = size
+        self.mode = mode
+        self.method = method
+        self.backend = backend
+        self.candidate = candidate
+        self.validator = validator
+        self.options = options
+
+    def key(self):
+        return {
+            "case": self.case_name, "mode": self.mode,
+            "method": self.method, "backend": self.backend,
+            "validator": self.validator,
+        }
+
+    def run(self):
+        case = case_by_name(self.case_name)
+        a = case.mode_matrix(self.mode)
+        report = validate_candidate(
+            self.candidate, a, validator=self.validator, **self.options
+        )
+        return Figure3Record(
+            case=self.case_name, size=self.size, mode=self.mode,
+            method=self.method, backend=self.backend,
+            validator=self.validator,
+            valid=report.valid,
+            time=report.total_time,
+        )
+
+    def timing_detail(self, result):
+        return {"validate_s": result.time}
+
+
+@lru_cache(maxsize=64)
+def _table2_context(case_name: str, mode: int):
+    """Per-process cache of the Table II mode geometry (flow, switching
+    halfspace, exact equilibrium, surface geometry)."""
+    case = case_by_name(case_name)
+    r = case.reference()
+    from ..robust import surface_geometry
+
+    system = case.switched_system(r)
+    flow = system.modes[mode].flow
+    halfspace = system.modes[mode].region.halfspaces[0]
+    a_exact = RationalMatrix.from_numpy(flow.a)
+    w_eq = solve_vector(a_exact, [-to_fraction(x) for x in flow.b.tolist()])
+    w_eq_float = np.array([float(x) for x in w_eq])
+    _, b_cl = closed_loop_matrices(case.plant, mode_gains(mode))
+    geometry = surface_geometry(halfspace, flow)
+    return case, flow, halfspace, w_eq, w_eq_float, b_cl, geometry
+
+
+class Table2Task(Task):
+    """One Table II cell: synthesis, validation, robust region, radii."""
+
+    def __init__(self, case_name, size, mode, method, backend,
+                 sigfigs, validator):
+        self.case_name = case_name
+        self.size = size
+        self.mode = mode
+        self.method = method
+        self.backend = backend
+        self.sigfigs = sigfigs
+        self.validator = validator
+
+    def key(self):
+        return {
+            "case": self.case_name, "mode": self.mode,
+            "method": self.method, "backend": self.backend,
+        }
+
+    def _skipped(self, reason):
+        return Table2Record(
+            case=self.case_name, size=self.size, mode=self.mode,
+            method=self.method, backend=self.backend,
+            time=None, volume=None, log10_volume=None,
+            epsilon=None, k=None, region_case=None,
+            skipped_reason=reason,
+        )
+
+    def on_timeout(self, elapsed):
+        return self._skipped("runner deadline exceeded")
+
+    def on_error(self, message):
+        return self._skipped("task error")
+
+    def run(self):
+        import time as _time
+
+        from ..robust import (
+            EpsilonInputs,
+            epsilon_radius,
+            log10_truncated_ellipsoid_volume,
+            synthesize_robust_level,
+            truncated_ellipsoid_volume,
+        )
+
+        _case, flow, halfspace, w_eq, w_eq_float, b_cl, geometry = (
+            _table2_context(self.case_name, self.mode)
+        )
+        try:
+            candidate = synthesize(
+                self.method, flow.a, backend=self.backend or "ipm"
+            )
+        except (LmiInfeasibleError, ValueError):
+            return self._skipped("synthesis failed")
+        report = validate_candidate(
+            candidate, flow.a, sigfigs=self.sigfigs, validator=self.validator
+        )
+        if report.valid is not True:
+            # The paper leaves such cells empty (LMIalpha+/Mosek, size 18).
+            return self._skipped("candidate not validated")
+        base = dict(
+            case=self.case_name, size=self.size, mode=self.mode,
+            method=self.method, backend=self.backend,
+        )
+
+        def epsilon(k):
+            inputs = EpsilonInputs(
+                flow_a=flow.a, b_cl=b_cl, p=candidate.p,
+                k=min(k, 1e300), w_eq=w_eq_float, geometry=geometry,
+            )
+            return epsilon_radius(inputs)
+
+        start = _time.perf_counter()
+        p_exact = candidate.exact_p(self.sigfigs)
+        region = synthesize_robust_level(flow, halfspace, p_exact, w_eq=w_eq)
+        elapsed = _time.perf_counter() - start
+        if not region.bounded:
+            return Table2Record(
+                **base, time=elapsed, volume=float("inf"),
+                log10_volume=float("inf"), epsilon=epsilon(float("inf")),
+                k=float("inf"), region_case=region.case,
+            )
+        k_float = region.k_float()
+        normal = halfspace.normal_float()
+        volume = truncated_ellipsoid_volume(
+            candidate.p, k_float, w_eq_float, normal, float(halfspace.offset)
+        )
+        log_volume = log10_truncated_ellipsoid_volume(
+            candidate.p, k_float, w_eq_float, normal, float(halfspace.offset)
+        )
+        return Table2Record(
+            **base, time=elapsed, volume=volume, log10_volume=log_volume,
+            epsilon=epsilon(k_float), k=k_float, region_case=region.case,
+        )
+
+    def timing_detail(self, result):
+        if result.time is None:
+            return {}
+        return {"region_s": result.time}
+
+
+class PiecewiseTask(Task):
+    """One piecewise synthesis+validation attempt (Sec. VI-B.2)."""
+
+    def __init__(self, case_name, size, encoding, max_iterations,
+                 max_boxes, conditions_scope):
+        self.case_name = case_name
+        self.size = size
+        self.encoding = encoding
+        self.max_iterations = max_iterations
+        self.max_boxes = max_boxes
+        self.conditions_scope = conditions_scope
+
+    def key(self):
+        return {"case": self.case_name, "encoding": self.encoding}
+
+    def run(self):
+        case = case_by_name(self.case_name)
+        system = case.switched_system(case.reference())
+        candidate = synthesize_piecewise(
+            system, encoding=self.encoding,
+            max_iterations=self.max_iterations,
+        )
+        report = validate_piecewise(
+            candidate,
+            system,
+            conditions_scope=self.conditions_scope,
+            max_boxes=self.max_boxes,
+        )
+        return PiecewiseRecord(
+            case=self.case_name,
+            size=self.size,
+            encoding=self.encoding,
+            lmi_feasible=candidate.feasible,
+            proved_infeasible=bool(candidate.info.get("proved_infeasible")),
+            iterations=candidate.iterations,
+            synth_time=candidate.synthesis_time,
+            validation_valid=report.valid,
+            failed_conditions=report.failed_conditions,
+            validation_time=report.time,
+        )
+
+    def _aborted(self, reason, elapsed):
+        return PiecewiseRecord(
+            case=self.case_name, size=self.size, encoding=self.encoding,
+            lmi_feasible=False, proved_infeasible=False, iterations=0,
+            synth_time=elapsed, validation_valid=None,
+            failed_conditions=[reason], validation_time=0.0,
+        )
+
+    def on_timeout(self, elapsed):
+        return self._aborted("runner deadline exceeded", elapsed)
+
+    def on_error(self, message):
+        return self._aborted("task error", 0.0)
+
+    def timing_detail(self, result):
+        return {
+            "synth_s": result.synth_time,
+            "validate_s": result.validation_time,
+        }

@@ -1,0 +1,120 @@
+"""Per-task timing instrumentation and the ``BENCH_experiments.json``
+performance-trajectory artifact.
+
+Every runner execution can feed a :class:`TimingCollector`; the CLI
+(and the scaling micro-benchmark) then merges one entry per experiment
+into a machine-readable JSON file, so per-task synthesis/validation
+wall times are tracked across PRs.
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "experiments": {
+        "<experiment>": {
+          "jobs": 4,
+          "quick": true,
+          "total_wall_s": 12.34,        # whole-sweep wall clock
+          "task_wall_s": 45.6,          # sum of per-task wall clocks
+          "tasks": [
+            {
+              "case": "size3i", "mode": 0,
+              "method": "eq-num", "backend": null,   # the task key
+              "status": "ok",           # ok|error|timeout|fallback
+              "wall_s": 0.0123,         # task wall clock in its worker
+              "worker": "12345",        # worker pid, or "local"
+              "synth_s": 0.0004,        # driver-specific detail fields
+              "validate_s": 0.0119
+            }, ...
+          ]
+        }, ...
+      }
+    }
+
+Task keys are experiment-shaped: ``(case, mode, method, backend)`` for
+Table I / Table II / Figure 3 (Figure 3 adds ``validator``),
+``(case, encoding)`` for the piecewise sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+__all__ = ["TaskTiming", "TimingCollector", "write_bench", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@dataclass
+class TaskTiming:
+    """Wall-clock record of one runner task."""
+
+    key: dict | None
+    status: str  # "ok" | "error" | "timeout" | "fallback"
+    wall_s: float
+    worker: str  # worker pid as a string, or "local"
+    detail: dict = field(default_factory=dict)
+
+    def as_entry(self) -> dict:
+        entry = dict(self.key or {})
+        entry["status"] = self.status
+        entry["wall_s"] = self.wall_s
+        entry["worker"] = self.worker
+        entry.update(self.detail)
+        return entry
+
+
+class TimingCollector:
+    """Accumulates :class:`TaskTiming` records across runner calls."""
+
+    def __init__(self) -> None:
+        self.timings: list[TaskTiming] = []
+
+    def record(self, timing: TaskTiming) -> None:
+        self.timings.append(timing)
+
+    def task_wall_s(self) -> float:
+        """Sum of per-task wall clocks (CPU-ish cost, not elapsed time)."""
+        return sum(t.wall_s for t in self.timings)
+
+    def entries(self) -> list[dict]:
+        return [t.as_entry() for t in self.timings]
+
+
+def write_bench(
+    path: str | pathlib.Path,
+    experiment: str,
+    collector: TimingCollector,
+    jobs: int,
+    quick: bool,
+    total_wall_s: float,
+) -> dict:
+    """Merge one experiment's timings into the bench artifact at ``path``.
+
+    Existing entries for *other* experiments are preserved, so a full
+    ``python -m repro.experiments all`` accumulates every sweep into a
+    single file. Returns the written document.
+    """
+    path = pathlib.Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    if data.get("schema") != BENCH_SCHEMA or not isinstance(
+        data.get("experiments"), dict
+    ):
+        data = {"schema": BENCH_SCHEMA, "experiments": {}}
+    data["experiments"][experiment] = {
+        "jobs": jobs,
+        "quick": quick,
+        "total_wall_s": total_wall_s,
+        "task_wall_s": collector.task_wall_s(),
+        "tasks": collector.entries(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, default=str) + "\n")
+    return data

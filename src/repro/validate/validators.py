@@ -5,11 +5,10 @@ matrix is positive definite. The registry mirrors the solver families
 the paper compares:
 
 ==============  ====================================================
-``sylvester``   leading principal minors via exact Bareiss
-                determinants (the paper's ad-hoc Sylvester method —
-                the fastest validator *in their setup*; our
-                fraction-free ``gauss``/``ldl`` beat it ~10x, see
-                EXPERIMENTS.md)
+``sylvester``   all leading principal minors streamed from a single
+                Bareiss elimination pass (the paper's fastest
+                validator; the single-pass rewrite put it back in the
+                same league as ``gauss``/``ldl`` — see EXPERIMENTS.md)
 ``gauss``       fraction-free Gaussian elimination pivots (SymPy's
                 ``is_positive_definite`` strategy, reimplemented)
 ``ldl``         exact LDL^T pivots (ablation variant)

@@ -96,6 +96,19 @@ class TestPositiveDefinite:
     def test_gram_plus_identity_is_pd(self, m):
         assert all(check(m) for check in ALL_PD_CHECKS)
 
+    @settings(max_examples=40)
+    @given(symmetric_matrices)
+    def test_single_pass_matches_per_minor_sylvester(self, m):
+        """The one-pass Bareiss Sylvester check must give the verdict of
+        the textbook criterion (each minor as its own determinant)."""
+        from repro.exact import bareiss_determinant
+
+        reference = all(
+            bareiss_determinant(m.leading_principal(k)) > 0
+            for k in range(1, m.rows + 1)
+        )
+        assert sylvester_positive_definite(m) == reference
+
 
 class TestSemidefiniteAndNegative:
     def test_psd_but_not_pd(self):

@@ -13,22 +13,30 @@ from repro.exact import (
     determinant,
     gauss_pivots,
     inverse,
+    iter_leading_principal_minors,
     ldl,
+    leading_principal_minors,
     rank,
     solve,
     solve_vector,
 )
 
 entries = st.integers(min_value=-20, max_value=20)
+fraction_entries = st.fractions(
+    min_value=-20, max_value=20, max_denominator=12
+)
 
 
-def square(n):
+def square(n, elements=entries):
     return st.lists(
-        st.lists(entries, min_size=n, max_size=n), min_size=n, max_size=n
+        st.lists(elements, min_size=n, max_size=n), min_size=n, max_size=n
     ).map(RationalMatrix)
 
 
 small_square = st.integers(min_value=1, max_value=5).flatmap(square)
+small_symmetric = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n: square(n, fraction_entries).map(RationalMatrix.symmetrize)
+)
 
 
 class TestDeterminant:
@@ -60,6 +68,58 @@ class TestDeterminant:
         assert bareiss_determinant(a @ b) == bareiss_determinant(
             a
         ) * bareiss_determinant(b)
+
+
+class TestLeadingPrincipalMinors:
+    def test_known(self):
+        m = RationalMatrix([[2, 1, 0], [1, 2, 1], [0, 1, 2]])
+        assert leading_principal_minors(m) == [2, 3, 4]
+
+    def test_single_entry(self):
+        assert leading_principal_minors(RationalMatrix([[7]])) == [7]
+
+    def test_zero_first_minor_falls_back(self):
+        # Pivot-free Bareiss stalls on the zero; remaining minors must
+        # still come out exact.
+        m = RationalMatrix([[0, 1], [1, 0]])
+        assert leading_principal_minors(m) == [0, -1]
+
+    def test_singular_leading_block(self):
+        m = RationalMatrix([[1, 1, 0], [1, 1, 1], [0, 1, 1]])
+        assert leading_principal_minors(m) == [1, 0, -1]
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            leading_principal_minors(RationalMatrix([[1, 2]]))
+
+    def test_iterator_is_lazy(self):
+        minors = iter_leading_principal_minors(
+            RationalMatrix([[-1, 0], [0, 1]])
+        )
+        assert next(minors) == -1  # consumers may stop here
+
+    @settings(max_examples=40)
+    @given(small_square)
+    def test_matches_per_k_determinants(self, m):
+        assert leading_principal_minors(m) == [
+            bareiss_determinant(m.leading_principal(k))
+            for k in range(1, m.rows + 1)
+        ]
+
+    @settings(max_examples=40)
+    @given(small_symmetric)
+    def test_symmetric_rational_matches_per_k_determinants(self, m):
+        # Symmetric input takes the mirrored-elimination fast path;
+        # singular and indefinite matrices exercise the fallback.
+        assert leading_principal_minors(m) == [
+            bareiss_determinant(m.leading_principal(k))
+            for k in range(1, m.rows + 1)
+        ]
+
+    @settings(max_examples=40)
+    @given(small_square)
+    def test_last_minor_is_determinant(self, m):
+        assert leading_principal_minors(m)[-1] == bareiss_determinant(m)
 
 
 class TestSolveInverse:

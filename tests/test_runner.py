@@ -1,0 +1,287 @@
+"""Tests for the parallel experiment runner (repro.runner)."""
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments import (
+    MethodKey,
+    render_sweep,
+    render_table1,
+    rounding_sweep,
+    run_table1,
+)
+from repro.runner import (
+    BENCH_SCHEMA,
+    Task,
+    TimingCollector,
+    resolve_jobs,
+    run_tasks,
+    write_bench,
+)
+
+QUICK_METHODS = [MethodKey("eq-num"), MethodKey("lmi", "shift")]
+
+
+# ----------------------------------------------------------------------
+# Picklable test tasks (must live at module level for the pool)
+# ----------------------------------------------------------------------
+
+class EchoTask(Task):
+    def __init__(self, value):
+        self.value = value
+
+    def key(self):
+        return {"case": f"echo{self.value}"}
+
+    def run(self):
+        return self.value
+
+
+class SleepTask(Task):
+    def __init__(self, delay, tag):
+        self.delay = delay
+        self.tag = tag
+
+    def run(self):
+        time.sleep(self.delay)
+        return self.tag
+
+
+class HangTask(Task):
+    """Never finishes on its own; only a deadline kill stops it."""
+
+    def run(self):
+        time.sleep(600)
+        return "finished"
+
+    def on_timeout(self, elapsed):
+        return ("timed-out", elapsed > 0)
+
+
+class CrashTask(Task):
+    def run(self):
+        raise RuntimeError("boom")
+
+    def on_error(self, message):
+        return ("crashed", message)
+
+
+class DieTask(Task):
+    """Kills its worker process outright; survives when run in-process."""
+
+    def __init__(self):
+        self.parent_pid = os.getpid()
+
+    def run(self):
+        if os.getpid() != self.parent_pid:
+            os._exit(3)  # simulate a segfaulting worker
+        return "ran-in-parent"
+
+
+def _normalize(record):
+    """Zero the stochastic wall-clock fields, keeping their None-ness."""
+    return dataclasses.replace(
+        record,
+        synth_time=None if record.synth_time is None else 0.0,
+        validation_time=None if record.validation_time is None else 0.0,
+    )
+
+
+class TestCore:
+    def test_empty(self):
+        assert run_tasks([], jobs=4) == []
+
+    def test_serial_results_in_order(self):
+        assert run_tasks([EchoTask(i) for i in range(5)], jobs=1) == list(
+            range(5)
+        )
+
+    def test_parallel_results_in_submission_order(self):
+        # Later-submitted tasks finish first; ordering must not care.
+        tasks = [SleepTask(0.3, "slow"), SleepTask(0.0, "fast1"),
+                 SleepTask(0.0, "fast2")]
+        assert run_tasks(tasks, jobs=2) == ["slow", "fast1", "fast2"]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(3) == 3
+
+    def test_task_error_serial_and_parallel(self):
+        for jobs in (1, 2):
+            (status, message), ok = run_tasks(
+                [CrashTask(), EchoTask("ok")], jobs=jobs
+            )
+            assert status == "crashed"
+            assert "RuntimeError" in message and "boom" in message
+            assert ok == "ok"
+
+    def test_deadline_kills_hung_task(self):
+        start = time.monotonic()
+        results = run_tasks(
+            [HangTask(), EchoTask(1)], jobs=2, task_deadline=1.0
+        )
+        elapsed = time.monotonic() - start
+        assert results == [("timed-out", True), 1]
+        assert elapsed < 30  # nowhere near the task's 600 s sleep
+
+    def test_deadline_does_not_serialize_sweep(self):
+        # One hung task must not delay the other tasks' completion.
+        tasks = [HangTask()] + [SleepTask(0.05, i) for i in range(4)]
+        results = run_tasks(tasks, jobs=2, task_deadline=1.5)
+        assert results == [("timed-out", True), 0, 1, 2, 3]
+
+    def test_worker_death_falls_back_in_process(self):
+        results = run_tasks([DieTask(), EchoTask(7)], jobs=2)
+        assert results == ["ran-in-parent", 7]
+
+    def test_unpicklable_task_runs_locally(self):
+        task = EchoTask(9)
+        task.value = lambda: 9  # unpicklable payload
+        task.run = lambda: "local"
+        results = run_tasks([task, EchoTask(2)], jobs=2)
+        assert results == ["local", 2]
+
+    def test_base_task_hooks(self):
+        task = Task()
+        with pytest.raises(NotImplementedError):
+            task.run()
+        assert task.key() is None
+        assert task.on_timeout(1.0) is None
+        assert task.on_error("x") is None
+        assert task.timing_detail(None) == {}
+
+
+class TestTimingArtifact:
+    def test_collector_records_per_task(self):
+        collector = TimingCollector()
+        run_tasks([EchoTask(1), CrashTask()], jobs=1, collect=collector)
+        assert [t.status for t in collector.timings] == ["ok", "error"]
+        assert collector.timings[0].key == {"case": "echo1"}
+        assert all(t.wall_s >= 0 for t in collector.timings)
+        assert collector.task_wall_s() == pytest.approx(
+            sum(t.wall_s for t in collector.timings)
+        )
+
+    def test_parallel_collects_worker_pids(self):
+        collector = TimingCollector()
+        run_tasks([EchoTask(i) for i in range(4)], jobs=2, collect=collector)
+        assert len(collector.timings) == 4
+        assert all(t.worker != "local" for t in collector.timings)
+
+    def test_write_bench_merges_experiments(self, tmp_path):
+        path = tmp_path / "BENCH_experiments.json"
+        first = TimingCollector()
+        run_tasks([EchoTask(1)], jobs=1, collect=first)
+        write_bench(path, "table1", first, jobs=1, quick=True,
+                    total_wall_s=0.5)
+        second = TimingCollector()
+        run_tasks([EchoTask(2)], jobs=1, collect=second)
+        data = write_bench(path, "figure3", second, jobs=2, quick=True,
+                           total_wall_s=0.25)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == data
+        assert on_disk["schema"] == BENCH_SCHEMA
+        assert set(on_disk["experiments"]) == {"table1", "figure3"}
+        entry = on_disk["experiments"]["table1"]["tasks"][0]
+        assert entry["case"] == "echo1"
+        assert entry["status"] == "ok"
+        assert "wall_s" in entry
+
+    def test_write_bench_replaces_corrupt_file(self, tmp_path):
+        path = tmp_path / "BENCH_experiments.json"
+        path.write_text("not json{")
+        collector = TimingCollector()
+        run_tasks([EchoTask(1)], jobs=1, collect=collector)
+        data = write_bench(path, "table1", collector, jobs=1, quick=False,
+                           total_wall_s=0.1)
+        assert data["schema"] == BENCH_SCHEMA
+
+    def test_table1_bench_keyed_by_grid_cell(self):
+        collector = TimingCollector()
+        run_table1(
+            sizes=(3,), integer_sizes=(), methods=QUICK_METHODS,
+            jobs=1, timing=collector,
+        )
+        entries = collector.entries()
+        assert len(entries) == 4  # 1 case x 2 modes x 2 methods
+        keys = {(e["case"], e["mode"], e["method"], e["backend"])
+                for e in entries}
+        assert ("size3", 0, "eq-num", None) in keys
+        assert ("size3", 1, "lmi", "shift") in keys
+        assert all("synth_s" in e and "validate_s" in e for e in entries)
+
+
+class TestParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self):
+        kwargs = dict(
+            sizes=(3,), integer_sizes=(3,), methods=QUICK_METHODS,
+            keep_candidates=True,
+        )
+        return run_table1(jobs=1, **kwargs), run_table1(jobs=2, **kwargs)
+
+    def test_records_identical_modulo_wall_times(self, serial_and_parallel):
+        (serial, _), (parallel, _) = serial_and_parallel
+        assert len(serial) == len(parallel) == 8
+        assert [_normalize(r) for r in serial] == [
+            _normalize(r) for r in parallel
+        ]
+
+    def test_rendered_tables_byte_identical(self, serial_and_parallel):
+        (serial, serial_cands), (parallel, parallel_cands) = (
+            serial_and_parallel
+        )
+        assert render_table1(
+            [_normalize(r) for r in serial]
+        ) == render_table1([_normalize(r) for r in parallel])
+        assert list(serial_cands) == list(parallel_cands)
+        sweep_serial = rounding_sweep(
+            serial_cands, sigfig_levels=(10, 4), base_records=serial
+        )
+        sweep_parallel = rounding_sweep(
+            parallel_cands, sigfig_levels=(10, 4), base_records=parallel,
+            jobs=2,
+        )
+        assert render_sweep(
+            [_normalize(r) for r in sweep_serial]
+        ) == render_sweep([_normalize(r) for r in sweep_parallel])
+
+
+class TestRoundingSweepReuse:
+    def test_base_records_reused_not_revalidated(self):
+        records, candidates = run_table1(
+            sizes=(3,), integer_sizes=(), methods=QUICK_METHODS,
+            keep_candidates=True,
+        )
+        collector = TimingCollector()
+        sweep = rounding_sweep(
+            candidates, sigfig_levels=(10, 6, 4), base_records=records,
+            timing=collector,
+        )
+        assert len(sweep) == 3 * len(candidates)
+        # Only levels 6 and 4 actually ran; level 10 is the same objects.
+        assert len(collector.timings) == 2 * len(candidates)
+        base = {
+            (r.case, r.mode, r.method, r.backend): r for r in records
+        }
+        reused = [r for r in sweep if r.sigfigs == 10]
+        assert all(
+            r is base[(r.case, r.mode, r.method, r.backend)] for r in reused
+        )
+
+    def test_without_base_records_all_levels_run(self):
+        _, candidates = run_table1(
+            sizes=(3,), integer_sizes=(), methods=QUICK_METHODS,
+            keep_candidates=True,
+        )
+        collector = TimingCollector()
+        sweep = rounding_sweep(
+            candidates, sigfig_levels=(10, 4), timing=collector
+        )
+        assert len(sweep) == 2 * len(candidates)
+        assert len(collector.timings) == 2 * len(candidates)
