@@ -103,7 +103,7 @@ def test_quick_grid_scaling_writes_bench():
     )
     assert BENCH_PATH.exists()
     on_disk = json.loads(BENCH_PATH.read_text())
-    assert on_disk["schema"] == data["schema"] == "repro-bench/1"
+    assert on_disk["schema"] == data["schema"] == "repro-bench/2"
     tasks = on_disk["experiments"]["bench-table1-parallel"]["tasks"]
     assert len(tasks) == 8
     assert {(t["case"], t["mode"], t["method"], t["backend"])

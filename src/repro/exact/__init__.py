@@ -2,10 +2,21 @@
 
 Everything downstream that claims a *verdict* — a Lyapunov candidate is
 valid, a matrix is Hurwitz, a robust-region level is optimal — routes
-through this package, which computes over :class:`fractions.Fraction`
-with no floating point anywhere.
+through this package, with no floating point anywhere. Hot paths run on
+the integer/multimodular kernel layer (:mod:`repro.exact.kernels`,
+selected per call via ``backend="auto"|"fraction"|"int"|"modular"``);
+the historical entry-by-entry :class:`fractions.Fraction` algorithms
+remain available as the ``"fraction"`` differential-testing oracle.
 """
 
+from .kernels import (
+    KERNEL_BACKENDS,
+    clear_denominators,
+    clear_kernel_cache,
+    hadamard_bound,
+    kernel_cache_info,
+    resolve_backend,
+)
 from .definiteness import (
     definiteness_counterexample,
     gauss_positive_definite,
@@ -52,6 +63,12 @@ from .rational import (
 
 __all__ = [
     "RationalMatrix",
+    "KERNEL_BACKENDS",
+    "clear_denominators",
+    "clear_kernel_cache",
+    "hadamard_bound",
+    "kernel_cache_info",
+    "resolve_backend",
     "Number",
     "to_fraction",
     "decimal_exponent",

@@ -16,14 +16,20 @@ validator families compared in the paper's Figure 3:
 Semidefinite variants support the "+ det" encoding: ``M ≻ 0`` iff
 ``M ⪰ 0 ∧ det(M) ≠ 0``.
 
-All functions require symmetric input and raise otherwise; verdicts are
-exact proofs over the rationals.
+Every check accepts ``backend="auto"|"fraction"|"int"|"modular"``
+(:mod:`repro.exact.kernels`): the fast paths clear denominators once
+and decide the verdict from *integer* signs directly — the denominator
+scale is positive, so no rational is ever reconstructed on the verdict
+path. ``"fraction"`` preserves the historical entry-by-entry oracle.
+Verdicts are identical across backends; all functions require symmetric
+input and raise otherwise.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
+from . import kernels
 from .factor import gauss_pivots, iter_leading_principal_minors, ldl
 from .matrix import RationalMatrix
 
@@ -43,47 +49,94 @@ def _require_symmetric(matrix: RationalMatrix) -> None:
         raise ValueError("definiteness checks require a symmetric matrix")
 
 
-def sylvester_positive_definite(matrix: RationalMatrix) -> bool:
+def _int_minor_stream(matrix: RationalMatrix, mode: str):
+    """Integer leading-minor stream for a kernel-backed verdict."""
+    rows, _den = kernels.normalized(matrix)
+    if mode == "modular":
+        return iter(kernels.modular_leading_principal_minors(rows))
+    return kernels.iter_int_leading_principal_minors(rows)
+
+
+def sylvester_positive_definite(
+    matrix: RationalMatrix, backend: str = "auto"
+) -> bool:
     """Sylvester's criterion with exact Bareiss minors.
 
     ``M ≻ 0`` iff all ``n`` leading principal minors are strictly
     positive ([Horn & Johnson, Thm. 7.2.5]). All minors come from one
     fraction-free elimination pass (Bareiss pivots *are* ratios of
     consecutive minors), streamed smallest first so an early
-    negative/zero minor short-circuits the elimination itself.
+    negative/zero minor short-circuits the elimination itself. With an
+    integer kernel the verdict is read off integer signs — the cleared
+    denominator is positive, so no rational is reconstructed at all.
     """
     _require_symmetric(matrix)
-    for minor in iter_leading_principal_minors(matrix):
+    mode = kernels.resolve_backend(backend, matrix.rows, op="minors")
+    if mode == "fraction":
+        minors = iter_leading_principal_minors(matrix, backend="fraction")
+    else:
+        minors = _int_minor_stream(matrix, mode)
+    for minor in minors:
         if minor <= 0:
             return False
     return True
 
 
-def gauss_positive_definite(matrix: RationalMatrix) -> bool:
+def gauss_positive_definite(
+    matrix: RationalMatrix, backend: str = "auto"
+) -> bool:
     """SymPy-flavoured check: elimination pivots all strictly positive.
 
     For symmetric ``M``, elimination without row exchange either hits a
     zero pivot (then ``M`` is not definite) or produces pivots whose
-    signs match the ``D`` of the LDL^T factorization.
+    signs match the ``D`` of the LDL^T factorization. The kernel paths
+    decide the same question from the integer minor stream (pivot ``k``
+    is the ratio of consecutive minors, so "all pivots positive" and
+    "all minors positive" are the same verdict, and a zero minor is
+    exactly the zero-pivot bail-out).
     """
     _require_symmetric(matrix)
-    pivots = gauss_pivots(matrix)
-    if pivots is None:
-        return False
-    return all(p > 0 for p in pivots)
+    mode = kernels.resolve_backend(backend, matrix.rows, op="minors")
+    if mode == "fraction":
+        pivots = gauss_pivots(matrix)
+        if pivots is None:
+            return False
+        return all(p > 0 for p in pivots)
+    for minor in _int_minor_stream(matrix, mode):
+        if minor <= 0:
+            return False
+    return True
 
 
-def ldl_positive_definite(matrix: RationalMatrix) -> bool:
-    """LDL^T-based check (ablation variant of the Gauss check)."""
+def ldl_positive_definite(
+    matrix: RationalMatrix, backend: str = "auto"
+) -> bool:
+    """LDL^T-based check (ablation variant of the Gauss check).
+
+    The kernel paths run the fraction-free LDL^T
+    (:func:`repro.exact.kernels.int_ldlt`) and judge the integer pivot
+    signs — rational reconstruction of ``L``/``D`` happens only when a
+    caller asks for the factors, never for the verdict.
+    """
     _require_symmetric(matrix)
-    factorization = ldl(matrix)
+    mode = kernels.resolve_backend(backend, matrix.rows, op="ldl")
+    if mode != "fraction":
+        rows, _den = kernels.normalized(matrix)
+        data = kernels.int_ldlt(rows)
+        if data is None:
+            return False
+        _columns, minors = data
+        return all(m > 0 for m in minors)
+    factorization = ldl(matrix, backend="fraction")
     if factorization is None:
         return False
     _lower, diag = factorization
     return all(d > 0 for d in diag)
 
 
-def is_positive_semidefinite(matrix: RationalMatrix) -> bool:
+def is_positive_semidefinite(
+    matrix: RationalMatrix, backend: str = "auto"
+) -> bool:
     """Exact PSD test: every *principal* minor is nonnegative.
 
     Implemented as the standard perturbation argument instead of the
@@ -104,16 +157,20 @@ def is_positive_semidefinite(matrix: RationalMatrix) -> bool:
     # which appear as roots s = -lambda. M >= 0 iff no root is positive,
     # and for a polynomial with all-real roots that holds iff the
     # coefficients (monic, highest first) have no sign change.
-    coeffs = charpoly(matrix.scale(-1))
+    coeffs = charpoly(matrix.scale(-1), backend=backend)
     return all(c >= 0 for c in coeffs)
 
 
-def is_negative_definite(matrix: RationalMatrix) -> bool:
-    return sylvester_positive_definite(matrix.scale(-1))
+def is_negative_definite(
+    matrix: RationalMatrix, backend: str = "auto"
+) -> bool:
+    return sylvester_positive_definite(matrix.scale(-1), backend=backend)
 
 
-def is_negative_semidefinite(matrix: RationalMatrix) -> bool:
-    return is_positive_semidefinite(matrix.scale(-1))
+def is_negative_semidefinite(
+    matrix: RationalMatrix, backend: str = "auto"
+) -> bool:
+    return is_positive_semidefinite(matrix.scale(-1), backend=backend)
 
 
 def definiteness_counterexample(matrix: RationalMatrix) -> list[Fraction] | None:

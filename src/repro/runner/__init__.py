@@ -18,7 +18,13 @@ from .tasks import (
     Table1Task,
     Table2Task,
 )
-from .timing import BENCH_SCHEMA, TaskTiming, TimingCollector, write_bench
+from .timing import (
+    BENCH_SCHEMA,
+    TaskTiming,
+    TimingCollector,
+    write_bench,
+    write_kernels_bench,
+)
 
 __all__ = [
     "Task",
@@ -32,5 +38,6 @@ __all__ = [
     "TaskTiming",
     "TimingCollector",
     "write_bench",
+    "write_kernels_bench",
     "BENCH_SCHEMA",
 ]

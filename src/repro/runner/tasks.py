@@ -42,6 +42,22 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=64)
+def _exact_mode_matrix(case_name: str, mode: int) -> RationalMatrix:
+    """Per-process cache of a case's exact closed-loop mode matrix.
+
+    Every validation task of one worker shares a single
+    :class:`RationalMatrix` per ``(case, mode)``; since the exact
+    kernels memoize denominator-clearing on the (hashable) matrix,
+    this also keeps :func:`repro.exact.kernel_cache_info` hitting
+    across tasks instead of re-normalizing per validation.
+    """
+    case = case_by_name(case_name)
+    return RationalMatrix.from_numpy(
+        np.asarray(case.mode_matrix(mode), dtype=float)
+    )
+
+
 class Table1Task(Task):
     """One Table I cell: synthesize a candidate, validate it exactly."""
 
@@ -80,7 +96,8 @@ class Table1Task(Task):
         except (LmiInfeasibleError, ValueError):
             return self._failed("infeasible")
         report = validate_candidate(
-            candidate, a, sigfigs=self.sigfigs, validator=self.validator
+            candidate, a, sigfigs=self.sigfigs, validator=self.validator,
+            exact_a=_exact_mode_matrix(self.case_name, self.mode),
         )
         record = Table1Record(
             case=self.case_name, size=self.size, mode=self.mode,
@@ -142,7 +159,8 @@ class RevalidateTask(Task):
         case = case_by_name(self.case_name)
         a = case.mode_matrix(self.mode)
         report = validate_candidate(
-            self.candidate, a, sigfigs=self.sigfigs, validator=self.validator
+            self.candidate, a, sigfigs=self.sigfigs, validator=self.validator,
+            exact_a=_exact_mode_matrix(self.case_name, self.mode),
         )
         return self._record(report.valid, report.total_time)
 
@@ -194,7 +212,9 @@ class Figure3Task(Task):
         case = case_by_name(self.case_name)
         a = case.mode_matrix(self.mode)
         report = validate_candidate(
-            self.candidate, a, validator=self.validator, **self.options
+            self.candidate, a, validator=self.validator,
+            exact_a=_exact_mode_matrix(self.case_name, self.mode),
+            **self.options,
         )
         return Figure3Record(
             case=self.case_name, size=self.size, mode=self.mode,
@@ -224,7 +244,7 @@ def _table2_context(case_name: str, mode: int):
     w_eq_float = np.array([float(x) for x in w_eq])
     _, b_cl = closed_loop_matrices(case.plant, mode_gains(mode))
     geometry = surface_geometry(halfspace, flow)
-    return case, flow, halfspace, w_eq, w_eq_float, b_cl, geometry
+    return case, flow, halfspace, w_eq, w_eq_float, b_cl, geometry, a_exact
 
 
 class Table2Task(Task):
@@ -272,7 +292,7 @@ class Table2Task(Task):
             truncated_ellipsoid_volume,
         )
 
-        _case, flow, halfspace, w_eq, w_eq_float, b_cl, geometry = (
+        _case, flow, halfspace, w_eq, w_eq_float, b_cl, geometry, a_exact = (
             _table2_context(self.case_name, self.mode)
         )
         try:
@@ -282,7 +302,8 @@ class Table2Task(Task):
         except (LmiInfeasibleError, ValueError):
             return self._skipped("synthesis failed")
         report = validate_candidate(
-            candidate, flow.a, sigfigs=self.sigfigs, validator=self.validator
+            candidate, flow.a, sigfigs=self.sigfigs, validator=self.validator,
+            exact_a=a_exact,
         )
         if report.valid is not True:
             # The paper leaves such cells empty (LMIalpha+/Mosek, size 18).

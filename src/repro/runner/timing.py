@@ -6,10 +6,11 @@ Every runner execution can feed a :class:`TimingCollector`; the CLI
 into a machine-readable JSON file, so per-task synthesis/validation
 wall times are tracked across PRs.
 
-Schema (``repro-bench/1``)::
+Schema (``repro-bench/2``; ``/1`` files are migrated in place — the
+``experiments`` section is carried over unchanged)::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
       "experiments": {
         "<experiment>": {
           "jobs": 4,
@@ -28,12 +29,28 @@ Schema (``repro-bench/1``)::
             }, ...
           ]
         }, ...
+      },
+      "kernels": {                      # exact-kernel micro-benchmarks
+        "sizes": {                      # closed-loop matrix dimension
+          "18": {
+            "fraction_det_s": 0.0447,   # per-backend wall times
+            "int_det_s": 0.0044,
+            "modular_det_s": 0.0100,
+            "fraction_minors_s": 0.0256,
+            "int_minors_s": 0.0032,
+            "modular_minors_s": 0.0123
+          }, ...
+        },
+        "cache": {"hits": 416, "misses": 99, ...}   # kernel_cache_info()
       }
     }
 
 Task keys are experiment-shaped: ``(case, mode, method, backend)`` for
 Table I / Table II / Figure 3 (Figure 3 adds ``validator``),
-``(case, encoding)`` for the piecewise sweep.
+``(case, encoding)`` for the piecewise sweep. The ``kernels`` section
+is written by ``benchmarks/test_exact_kernels.py`` via
+:func:`write_kernels_bench` and preserved by :func:`write_bench` (and
+vice versa).
 """
 
 from __future__ import annotations
@@ -42,9 +59,18 @@ import json
 import pathlib
 from dataclasses import dataclass, field
 
-__all__ = ["TaskTiming", "TimingCollector", "write_bench", "BENCH_SCHEMA"]
+__all__ = [
+    "TaskTiming",
+    "TimingCollector",
+    "write_bench",
+    "write_kernels_bench",
+    "BENCH_SCHEMA",
+]
 
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
+#: Prior schema whose ``experiments`` section is still understood and
+#: migrated forward instead of being discarded.
+_BENCH_SCHEMA_V1 = "repro-bench/1"
 
 
 @dataclass
@@ -93,21 +119,13 @@ def write_bench(
 ) -> dict:
     """Merge one experiment's timings into the bench artifact at ``path``.
 
-    Existing entries for *other* experiments are preserved, so a full
-    ``python -m repro.experiments all`` accumulates every sweep into a
-    single file. Returns the written document.
+    Existing entries for *other* experiments are preserved — as is the
+    ``kernels`` section — so a full ``python -m repro.experiments all``
+    accumulates every sweep into a single file. Returns the written
+    document.
     """
     path = pathlib.Path(path)
-    data: dict = {}
-    if path.exists():
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            data = {}
-    if data.get("schema") != BENCH_SCHEMA or not isinstance(
-        data.get("experiments"), dict
-    ):
-        data = {"schema": BENCH_SCHEMA, "experiments": {}}
+    data = _load_bench(path)
     data["experiments"][experiment] = {
         "jobs": jobs,
         "quick": quick,
@@ -115,6 +133,42 @@ def write_bench(
         "task_wall_s": collector.task_wall_s(),
         "tasks": collector.entries(),
     }
+    _dump_bench(path, data)
+    return data
+
+
+def write_kernels_bench(path: str | pathlib.Path, kernels: dict) -> dict:
+    """Merge the exact-kernel micro-benchmark section into the artifact.
+
+    ``kernels`` is stored verbatim under the top-level ``"kernels"``
+    key (see the module docstring for the shape the kernel benchmark
+    writes); every ``experiments`` entry is preserved. Returns the
+    written document.
+    """
+    path = pathlib.Path(path)
+    data = _load_bench(path)
+    data["kernels"] = kernels
+    _dump_bench(path, data)
+    return data
+
+
+def _load_bench(path: pathlib.Path) -> dict:
+    """Read the artifact, migrating ``repro-bench/1`` files forward."""
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    schema = data.get("schema")
+    if schema not in (BENCH_SCHEMA, _BENCH_SCHEMA_V1) or not isinstance(
+        data.get("experiments"), dict
+    ):
+        data = {"experiments": {}}
+    data["schema"] = BENCH_SCHEMA
+    return data
+
+
+def _dump_bench(path: pathlib.Path, data: dict) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(data, indent=2, default=str) + "\n")
-    return data

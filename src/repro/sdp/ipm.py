@@ -18,6 +18,8 @@ plays the CVXOPT role in the paper's tables.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .problems import LmiInfeasibleError, LyapunovLmiProblem
@@ -34,25 +36,58 @@ def _chol_or_none(matrix: np.ndarray) -> np.ndarray | None:
         return None
 
 
+@lru_cache(maxsize=32)
+def _constraint_cols(a_bytes: bytes, n: int, alpha: float) -> np.ndarray:
+    """``vec(L(E_k))`` columns for the Lyapunov operator, memoized.
+
+    Repeated solves on the same mode matrix (bisection over ``alpha``
+    rebuilds only per-``alpha`` entries; revalidation sweeps hit the
+    same ``(A, alpha)`` again and again) skip the ``n^2 x n^2``
+    Kronecker assembly entirely.
+    """
+    a = np.frombuffer(a_bytes, dtype=float).reshape(n, n)
+    basis = basis_matrix(n)  # m x n^2, orthonormal rows
+    lyap_mat = (
+        np.kron(np.eye(n), a.T) + np.kron(a.T, np.eye(n))
+        + alpha * np.eye(n * n)
+    )
+    cols = lyap_mat @ basis.T  # n^2 x m: vec(L(E_k)) columns
+    cols.setflags(write=False)
+    return cols
+
+
 def solve_ipm(
     problem: LyapunovLmiProblem,
     tol: float = 1e-8,
     max_iterations: int = 60,
+    initial: np.ndarray | None = None,
 ) -> tuple[np.ndarray, dict]:
-    """Damped-Newton analytic centering; raises when no interior exists."""
+    """Damped-Newton analytic centering; raises when no interior exists.
+
+    ``initial`` warm-starts the centering: when it is strictly feasible
+    for *this* problem the Phase I solve is skipped entirely, otherwise
+    it is ignored. ``best_alpha`` threads each accepted solution into
+    the next bisection step this way.
+    """
     n = problem.n
-    # Phase I: a strictly feasible interior point from the direct solver.
-    p0, _ = solve_shift(problem)
+    warm = (
+        initial is not None
+        and initial.shape == (n, n)
+        and problem.is_strictly_feasible(initial, slack=1e-12)
+    )
+    if warm:
+        p0 = 0.5 * (initial + initial.T)
+    else:
+        # Phase I: a strictly feasible interior point from the direct solver.
+        p0, _ = solve_shift(problem)
     radius = max(problem.radius, 10.0 * float(np.linalg.eigvalsh(p0).max()))
 
     a = problem.a
-    alpha = problem.alpha
     eye_n = np.eye(n)
     basis = basis_matrix(n)  # m x n^2, orthonormal rows
-    lyap_mat = (
-        np.kron(eye_n, a.T) + np.kron(a.T, eye_n) + alpha * np.eye(n * n)
+    constraint_cols = _constraint_cols(
+        np.ascontiguousarray(a, dtype=float).tobytes(), n, float(problem.alpha)
     )
-    constraint_cols = lyap_mat @ basis.T  # n^2 x m: vec(L(E_k)) columns
 
     def blocks(p: np.ndarray):
         """The three barrier blocks at ``p``."""
@@ -111,6 +146,7 @@ def solve_ipm(
         "iterations": iterations,
         "newton_decrement": decrement,
         "radius": radius,
+        "warm_start": warm,
     }
     return p, info
 

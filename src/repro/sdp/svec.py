@@ -8,6 +8,8 @@ and scaled off-diagonal units ``(E_ij + E_ji)/sqrt(2)``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = [
@@ -55,8 +57,14 @@ def smat(vector: np.ndarray, n: int) -> np.ndarray:
     return out
 
 
-def svec_basis(n: int) -> list[np.ndarray]:
-    """The orthonormal basis matrices ``E_k`` with ``svec(E_k) = e_k``."""
+@lru_cache(maxsize=None)
+def svec_basis(n: int) -> tuple[np.ndarray, ...]:
+    """The orthonormal basis matrices ``E_k`` with ``svec(E_k) = e_k``.
+
+    Memoized per ``n`` (solver loops rebuild it for every LMI solve);
+    the returned arrays are marked read-only — callers that want to
+    scale or edit one must copy it, which every current caller does.
+    """
     basis = []
     for i in range(n):
         unit = np.zeros((n, n))
@@ -66,17 +74,22 @@ def svec_basis(n: int) -> list[np.ndarray]:
             unit = np.zeros((n, n))
             unit[i, j] = unit[j, i] = 1.0 / _SQRT2
             basis.append(unit)
-    return basis
+    for unit in basis:
+        unit.setflags(write=False)
+    return tuple(basis)
 
 
+@lru_cache(maxsize=None)
 def basis_matrix(n: int) -> np.ndarray:
     """The ``svec_dim(n) x n^2`` matrix ``B`` with ``B @ vec(M) = svec(M)``.
 
     ``vec`` is column-stacking (Fortran order), matching ``np.kron``
-    identities ``vec(A X B) = (B^T kron A) vec(X)``.
+    identities ``vec(A X B) = (B^T kron A) vec(X)``. Memoized per ``n``
+    with a read-only result, like :func:`svec_basis`.
     """
     m = svec_dim(n)
     out = np.zeros((m, n * n))
     for k, basis in enumerate(svec_basis(n)):
         out[k] = basis.flatten(order="F")
+    out.setflags(write=False)
     return out

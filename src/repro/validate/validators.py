@@ -19,6 +19,13 @@ the paper compares:
 ``icp+det``     the "+ det" encoding: non-strict refutation plus an
                 exact determinant test
 ==============  ====================================================
+
+The three exact validators accept a ``backend`` option
+(``"auto"|"fraction"|"int"|"modular"``, forwarded to
+:mod:`repro.exact.kernels`): ``run_validator(name, matrix,
+backend="int")`` decides the same verdict from integer kernels after a
+single denominator clearing, while ``backend="fraction"`` pins the
+historical Fraction oracle — the pair powers the differential tests.
 """
 
 from __future__ import annotations
@@ -54,11 +61,14 @@ class ValidatorResult:
     extra: dict = field(default_factory=dict)
 
 
-def _with_witness(check: Callable[[RationalMatrix], bool]):
-    def run(matrix: RationalMatrix, **_options) -> tuple[bool, list | None, dict]:
-        verdict = check(matrix)
+def _with_witness(check: Callable[..., bool]):
+    def run(
+        matrix: RationalMatrix, backend: str = "auto", **_options
+    ) -> tuple[bool, list | None, dict]:
+        verdict = check(matrix, backend=backend)
         witness = None if verdict else definiteness_counterexample(matrix)
-        return verdict, witness, {}
+        extra = {} if backend == "auto" else {"backend": backend}
+        return verdict, witness, extra
 
     return run
 

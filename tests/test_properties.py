@@ -11,7 +11,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exact import RationalMatrix
+from repro.exact import (
+    RationalMatrix,
+    bareiss_determinant,
+    leading_principal_minors,
+    sylvester_positive_definite,
+)
 from repro.lyapunov import synthesize
 from repro.robust import synthesize_robust_level
 from repro.smt import LinearConstraint, Relation, Var, solve_linear
@@ -56,6 +61,77 @@ class TestRobustLevelScaling:
         scaled = synthesize_robust_level(flow, halfspace, p.scale(c))
         assert scaled.k == base.k * c
         assert scaled.minimizer == base.minimizer
+
+
+class TestKernelOracleAgreement:
+    """The int/modular exact kernels are only ever allowed to be faster,
+    never different: determinants, leading-minor streams and Sylvester
+    verdicts must agree bit-for-bit with the Fraction oracle on every
+    matrix shape the pipeline produces — including singular, zero-pivot,
+    negative-definite and huge-denominator (10-sigfig-rounded) cases."""
+
+    KINDS = (
+        "generic",
+        "singular",
+        "zero_pivot",
+        "negative_definite",
+        "huge_denominator",
+    )
+
+    @staticmethod
+    def _matrix(kind, n, seed):
+        rng = np.random.default_rng(seed)
+
+        def frac():
+            return Fraction(
+                int(rng.integers(-99, 100)), int(rng.integers(1, 60))
+            )
+
+        if kind == "huge_denominator":
+            # 10-significant-figure decimal roundings of floats — the
+            # denominator profile of ``exact_p(10)`` candidates.
+            return RationalMatrix(
+                [[Fraction(f"{value:.10g}") for value in row]
+                 for row in rng.normal(size=(n, n)).tolist()]
+            )
+        if kind == "negative_definite":
+            g = RationalMatrix([[frac() for _ in range(n)] for _ in range(n)])
+            return (
+                (g @ g.T + RationalMatrix.identity(n).scale(n))
+                .scale(-1)
+                .symmetrize()
+            )
+        rows = [[frac() for _ in range(n)] for _ in range(n)]
+        if kind == "singular":
+            rows[n - 1] = [x * 2 for x in rows[0]]
+        elif kind == "zero_pivot":
+            rows[0][0] = Fraction(0)
+        return RationalMatrix(rows)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.sampled_from(KINDS),
+        st.integers(2, 7),
+    )
+    def test_kernels_match_fraction_oracle(self, seed, kind, n):
+        m = self._matrix(kind, n, seed)
+        det = bareiss_determinant(m, backend="fraction")
+        minors = leading_principal_minors(m, backend="fraction")
+        for backend in ("int", "modular", "auto"):
+            assert bareiss_determinant(m, backend=backend) == det, (
+                kind, backend,
+            )
+            assert leading_principal_minors(m, backend=backend) == minors, (
+                kind, backend,
+            )
+        if m.is_symmetric():
+            verdict = sylvester_positive_definite(m, backend="fraction")
+            for backend in ("int", "modular", "auto"):
+                assert (
+                    sylvester_positive_definite(m, backend=backend)
+                    is verdict
+                ), (kind, backend)
 
 
 class TestLinearSolverDuality:
