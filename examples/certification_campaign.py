@@ -15,7 +15,7 @@ Run:  python examples/certification_campaign.py
 import numpy as np
 
 import repro
-from repro.engine import fault_margin, mode_gains
+from repro.engine import NO_DESTABILIZING_MARGIN, fault_margin, mode_gains
 from repro.exact import RationalMatrix, solve_vector, to_fraction
 from repro.reach import Zonotope, verify_invariance
 from repro.robust import (
@@ -64,7 +64,10 @@ def main() -> None:
         ("sensor-gain", 3, "HPC speed sensor"),
     ):
         margin = fault_margin(case.plant, kind, channel)
-        print(f"      {label:22s} tolerates {margin:5.1%} degradation")
+        if margin == NO_DESTABILIZING_MARGIN:
+            print(f"      {label:22s} cannot destabilize the loop")
+        else:
+            print(f"      {label:22s} tolerates {margin:5.1%} degradation")
 
     # 4. Monte Carlo epsilon validation.
     w_eq = solve_vector(

@@ -10,6 +10,7 @@ of Section VI-A.
 from .archive import export_arch_benchmark, load_arch_benchmark
 from .benchmarks import MODES, BenchmarkCase, benchmark_suite, case_by_name
 from .faults import (
+    NO_DESTABILIZING_MARGIN,
     Fault,
     apply_fault,
     bias_shifts_equilibrium,
@@ -43,6 +44,7 @@ __all__ = [
     "apply_fault",
     "stability_under_fault",
     "fault_margin",
+    "NO_DESTABILIZING_MARGIN",
     "bias_shifts_equilibrium",
     "export_arch_benchmark",
     "load_arch_benchmark",

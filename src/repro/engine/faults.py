@@ -29,6 +29,7 @@ from .gains import mode_gains
 
 __all__ = [
     "Fault",
+    "NO_DESTABILIZING_MARGIN",
     "apply_fault",
     "stability_under_fault",
     "fault_margin",
@@ -36,6 +37,15 @@ __all__ = [
 ]
 
 FaultKind = Literal["actuator-effectiveness", "sensor-gain", "sensor-bias"]
+
+#: Sentinel returned by :func:`fault_margin` when even total loss
+#: (severity 1) leaves every mode Hurwitz: the fault family cannot
+#: destabilize the loop, so no finite margin exists. Compares equal to
+#: ``float("inf")`` — callers that used to receive the raw upper bound
+#: 1.0 must now test ``margin == NO_DESTABILIZING_MARGIN`` (or
+#: ``math.isinf``) instead of the ambiguous ``margin >= 1.0``, which
+#: could not distinguish "margin is exactly the cap" from "no margin".
+NO_DESTABILIZING_MARGIN = float("inf")
 
 
 @dataclass(frozen=True)
@@ -102,8 +112,10 @@ def fault_margin(
 ) -> float:
     """Largest severity in [0, 1] keeping every mode Hurwitz (bisection).
 
-    Returns 1.0 when even total loss leaves the loop stable (the faulted
-    channel was not load-bearing for stability)."""
+    Returns :data:`NO_DESTABILIZING_MARGIN` when even total loss leaves
+    the loop stable (the faulted channel was not load-bearing for
+    stability) — the family admits no destabilizing severity, which is
+    different from a genuine margin that happens to sit at the cap."""
     if kind == "sensor-bias":
         raise ValueError(
             "bias faults do not destabilize a linear loop; analyze them "
@@ -120,7 +132,7 @@ def fault_margin(
     if not stable_at(0.0):
         raise ValueError("the nominal loop is already unstable")
     if stable_at(1.0):
-        return 1.0
+        return NO_DESTABILIZING_MARGIN
     low, high = 0.0, 1.0
     while high - low > tolerance:
         mid = 0.5 * (low + high)

@@ -11,8 +11,10 @@ remain available as the ``"fraction"`` differential-testing oracle.
 
 from .kernels import (
     KERNEL_BACKENDS,
+    KERNEL_FALLBACKS,
     clear_denominators,
     clear_kernel_cache,
+    fallback_backend,
     hadamard_bound,
     kernel_cache_info,
     resolve_backend,
@@ -64,6 +66,8 @@ from .rational import (
 __all__ = [
     "RationalMatrix",
     "KERNEL_BACKENDS",
+    "KERNEL_FALLBACKS",
+    "fallback_backend",
     "clear_denominators",
     "clear_kernel_cache",
     "hadamard_bound",

@@ -64,6 +64,8 @@ except ImportError:  # pragma: no cover - NumPy is a hard dependency here
 
 __all__ = [
     "KERNEL_BACKENDS",
+    "KERNEL_FALLBACKS",
+    "fallback_backend",
     "resolve_backend",
     "clear_denominators",
     "normalized",
@@ -82,6 +84,20 @@ __all__ = [
 ]
 
 KERNEL_BACKENDS = ("auto", "fraction", "int", "modular")
+
+#: Graceful-degradation order for kernel failures: an unexpected error
+#: in the multimodular path falls back to the plain integer Bareiss,
+#: which in turn falls back to the entry-by-entry Fraction oracle (the
+#: slowest but most battle-tested implementation). ``fraction`` is the
+#: end of the chain. Consumers (the validators, chiefly) record every
+#: hop so degraded verdicts stay distinguishable from clean ones.
+KERNEL_FALLBACKS = {"modular": "int", "int": "fraction"}
+
+
+def fallback_backend(mode: str) -> str | None:
+    """The next backend to try after ``mode`` fails (``None`` at the end
+    of the ``modular -> int -> fraction`` chain)."""
+    return KERNEL_FALLBACKS.get(mode)
 
 #: Below this dimension the plain integer Bareiss beats the CRT path
 #: (prime reductions plus one elimination per prime), so "auto" routes

@@ -12,6 +12,16 @@ experiment's rendered output as ``<experiment>_full.txt`` (or
 is given, per-task wall times are merged into ``BENCH_experiments.json``
 (see :mod:`repro.runner.timing` for the schema) so the performance
 trajectory is tracked across PRs.
+
+Campaigns survive crashes: ``--journal PATH`` records every finished
+task in an append-only JSONL journal, and ``--resume`` replays it so an
+interrupted run re-executes only the gaps (rendered output is identical
+to an uninterrupted run). ``--retries N`` re-runs transiently failed
+tasks (worker death, deadline kill, IPC errors) with exponential
+backoff; ``--no-fallback`` disarms the validator degradation chains
+(see :mod:`repro.validate.validators`). A one-line campaign summary
+(tasks run / replayed / retried / degraded) prints after each
+experiment's table.
 """
 
 from __future__ import annotations
@@ -21,7 +31,14 @@ import pathlib
 import sys
 import time
 
-from ..runner import TimingCollector, resolve_jobs, write_bench
+from ..runner import (
+    CampaignStats,
+    Journal,
+    RetryPolicy,
+    TimingCollector,
+    resolve_jobs,
+    write_bench,
+)
 from .figure3 import render_figure3, run_figure3
 from .piecewise import render_piecewise, run_piecewise
 from .records import dump_records
@@ -29,26 +46,46 @@ from .table1 import render_sweep, render_table1, rounding_sweep, run_table1
 from .table2 import render_table2, run_table2
 
 
-def _runner_kwargs(args, timing):
+def _runner_kwargs(args, timing, campaign):
     return {
         "jobs": args.jobs,
         "task_deadline": args.task_deadline,
         "timing": timing,
+        "journal": campaign.journal,
+        "retry": campaign.retry,
+        "stats": campaign.stats,
     }
 
 
-def _table1(args, timing) -> str:
+class _Campaign:
+    """Per-experiment resilience context: shared journal, retry policy,
+    and the summary counters printed after the rendered output."""
+
+    def __init__(self, args, journal):
+        self.journal = journal
+        self.retry = (
+            RetryPolicy(retries=args.retries, backoff=args.retry_backoff)
+            if args.retries
+            else None
+        )
+        self.stats = CampaignStats()
+        self.fallback = not args.no_fallback
+
+
+def _table1(args, timing, campaign) -> str:
     sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
     deadline = 5.0 if args.quick else args.eq_smt_deadline
     records, candidates = run_table1(
         sizes=sizes, eq_smt_deadline=deadline, keep_candidates=True,
-        **_runner_kwargs(args, timing),
+        fallback=campaign.fallback, **_runner_kwargs(args, timing, campaign),
     )
     text = render_table1(records)
     # The 10-sigfig validations were just computed: reuse them and only
     # re-run the aggressive rounding levels (6 and 4).
     sweep = rounding_sweep(
-        candidates, base_records=records, jobs=args.jobs, timing=timing
+        candidates, base_records=records, jobs=args.jobs, timing=timing,
+        journal=campaign.journal, retry=campaign.retry, stats=campaign.stats,
+        fallback=campaign.fallback,
     )
     text += "\n\n" + render_sweep(sweep)
     if args.json:
@@ -56,29 +93,35 @@ def _table1(args, timing) -> str:
     return text
 
 
-def _figure3(args, timing) -> str:
+def _figure3(args, timing, campaign) -> str:
     sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
-    records = run_figure3(sizes=sizes, **_runner_kwargs(args, timing))
+    records = run_figure3(
+        sizes=sizes, fallback=campaign.fallback,
+        **_runner_kwargs(args, timing, campaign),
+    )
     if args.json:
         dump_records(records, args.json)
     return render_figure3(records)
 
 
-def _piecewise(args, timing) -> str:
+def _piecewise(args, timing, campaign) -> str:
     names = ("size3",) if args.quick else ("size3", "size5")
     iterations = 6_000 if args.quick else 20_000
     records = run_piecewise(
         case_names=names, max_iterations=iterations,
-        **_runner_kwargs(args, timing),
+        **_runner_kwargs(args, timing, campaign),
     )
     if args.json:
         dump_records(records, args.json)
     return render_piecewise(records)
 
 
-def _table2(args, timing) -> str:
+def _table2(args, timing, campaign) -> str:
     names = ("size3", "size5") if args.quick else ("size15", "size18")
-    records = run_table2(case_names=names, **_runner_kwargs(args, timing))
+    records = run_table2(
+        case_names=names, fallback=campaign.fallback,
+        **_runner_kwargs(args, timing, campaign),
+    )
     if args.json:
         dump_records(records, args.json)
     return render_table2(records)
@@ -134,27 +177,62 @@ def main(argv: list[str] | None = None) -> int:
         "--no-bench", action="store_true",
         help="skip writing the timing artifact",
     )
+    parser.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="append-only JSONL result journal (crash-safe campaign state)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed tasks from --journal and run only the gaps",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry transiently failed tasks up to N times "
+        "(exponential backoff; default: no retries)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base delay of the retry backoff (doubles per attempt)",
+    )
+    parser.add_argument(
+        "--no-fallback", action="store_true",
+        help="disarm the kernel-backend fallback and validator "
+        "escalation chains (failures propagate)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
     chosen = list(COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in chosen:
-        if args.experiment == "all":
-            print(f"\n=== {name} ===")
-        timing = None if args.no_bench else TimingCollector()
-        started = time.perf_counter()
-        text = COMMANDS[name](args, timing)
-        elapsed = time.perf_counter() - started
-        if timing is not None:
-            write_bench(
-                args.bench, name, timing,
-                jobs=resolve_jobs(args.jobs), quick=args.quick,
-                total_wall_s=elapsed,
-            )
-        print(text)
-        if args.record:
-            suffix = "quick" if args.quick else "full"
-            path = pathlib.Path(args.record) / f"{name}_{suffix}.txt"
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(text + "\n")
+    journal = (
+        Journal(args.journal, resume=args.resume) if args.journal else None
+    )
+    try:
+        for name in chosen:
+            if args.experiment == "all":
+                print(f"\n=== {name} ===")
+            timing = None if args.no_bench else TimingCollector()
+            campaign = _Campaign(args, journal)
+            started = time.perf_counter()
+            text = COMMANDS[name](args, timing, campaign)
+            elapsed = time.perf_counter() - started
+            if timing is not None:
+                write_bench(
+                    args.bench, name, timing,
+                    jobs=resolve_jobs(args.jobs), quick=args.quick,
+                    total_wall_s=elapsed,
+                )
+            print(text)
+            # Campaign counters go to the terminal only, never into the
+            # --record files: resumed runs must stay byte-identical.
+            print(campaign.stats.summary())
+            if args.record:
+                suffix = "quick" if args.quick else "full"
+                path = pathlib.Path(args.record) / f"{name}_{suffix}.txt"
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text + "\n")
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
 
 

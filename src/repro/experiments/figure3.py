@@ -46,12 +46,17 @@ def run_figure3(
     jobs: int | None = 1,
     task_deadline: float | None = None,
     timing=None,
+    journal=None,
+    retry=None,
+    stats=None,
+    fallback: bool = True,
 ) -> list[Figure3Record]:
     """Validate a shared candidate set with every registered validator.
 
     Each (candidate, validator) pair is one runner task, so the slow
     search-based validators no longer serialize the sweep when
-    ``jobs > 1``.
+    ``jobs > 1``. ``journal``/``retry``/``stats`` make the campaign
+    resumable; ``fallback=False`` disarms the degradation chains.
     """
     from ..runner import Figure3Task, run_tasks
 
@@ -68,6 +73,10 @@ def run_figure3(
             keep_candidates=True,
             jobs=jobs,
             timing=timing,
+            journal=journal,
+            retry=retry,
+            stats=stats,
+            fallback=fallback,
         )
     tasks = []
     for (case_name, mode, method, backend), candidate in candidates.items():
@@ -84,11 +93,12 @@ def run_figure3(
                 Figure3Task(
                     case_name=case_name, size=case.size, mode=mode,
                     method=method, backend=backend, candidate=candidate,
-                    validator=validator, options=options,
+                    validator=validator, options=options, fallback=fallback,
                 )
             )
     outcomes = run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
+        journal=journal, retry=retry, stats=stats,
     )
     return [record for record in outcomes if record is not None]
 

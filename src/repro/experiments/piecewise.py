@@ -28,6 +28,9 @@ def run_piecewise(
     jobs: int | None = 1,
     task_deadline: float | None = None,
     timing=None,
+    journal=None,
+    retry=None,
+    stats=None,
 ) -> list[PiecewiseRecord]:
     from ..runner import PiecewiseTask, run_tasks
 
@@ -41,7 +44,8 @@ def run_piecewise(
         for encoding in encodings
     ]
     return run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
+        journal=journal, retry=retry, stats=stats,
     )
 
 

@@ -61,6 +61,10 @@ class Table1Record:
     valid: bool | None
     validation_time: float | None
     sigfigs: int = 10
+    #: Validator fallback/escalation hops (ValidationReport.degraded);
+    #: empty for a clean run. Renderers ignore it — tables stay
+    #: byte-identical — but the JSON dump and timing artifact keep it.
+    degraded: list = field(default_factory=list)
 
 
 @dataclass
@@ -74,6 +78,8 @@ class Figure3Record:
     validator: str
     valid: bool | None
     time: float
+    #: Validator fallback/escalation hops (empty for a clean run).
+    degraded: list = field(default_factory=list)
 
 
 @dataclass

@@ -40,6 +40,10 @@ def run_table1(
     jobs: int | None = 1,
     task_deadline: float | None = None,
     timing=None,
+    journal=None,
+    retry=None,
+    stats=None,
+    fallback: bool = True,
 ) -> tuple[list[Table1Record], dict]:
     """Run the full synthesis+validation grid.
 
@@ -49,7 +53,9 @@ def run_table1(
     *same* candidates. ``jobs`` fans the grid out over worker processes
     (``None`` = all cores); ``task_deadline`` is an optional per-task
     wall-clock kill; ``timing`` is an optional
-    :class:`repro.runner.TimingCollector`.
+    :class:`repro.runner.TimingCollector`. ``journal``/``retry``/
+    ``stats`` make the campaign resumable (see :mod:`repro.runner`);
+    ``fallback=False`` disarms the validator degradation chains.
     """
     # Imported lazily: the runner's task specs import this package's
     # records module (see repro.runner.tasks).
@@ -63,13 +69,15 @@ def run_table1(
             method=key.method, backend=key.backend,
             eq_smt_deadline=eq_smt_deadline, validator=validator,
             sigfigs=sigfigs, keep_candidate=keep_candidates,
+            fallback=fallback,
         )
         for case in benchmark_suite(sizes=sizes, integer_sizes=integer_sizes)
         for mode in MODES
         for key in methods
     ]
     outcomes = run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
+        journal=journal, retry=retry, stats=stats,
     )
     records: list[Table1Record] = []
     candidates: dict = {}
@@ -125,6 +133,10 @@ def rounding_sweep(
     base_records: list[Table1Record] | None = None,
     jobs: int | None = 1,
     timing=None,
+    journal=None,
+    retry=None,
+    stats=None,
+    fallback: bool = True,
 ) -> list[Table1Record]:
     """Re-validate stored candidates at several rounding precisions.
 
@@ -156,9 +168,13 @@ def rounding_sweep(
                     case_name=case_name, size=case_by_name(case_name).size,
                     mode=mode, method=method, backend=backend,
                     candidate=candidate, sigfigs=sigfigs, validator=validator,
+                    fallback=fallback,
                 )
             )
-    outcomes = run_tasks(tasks, jobs=jobs, collect=timing)
+    outcomes = run_tasks(
+        tasks, jobs=jobs, collect=timing,
+        journal=journal, retry=retry, stats=stats,
+    )
     records = []
     for (case_name, mode, method, backend), _candidate in candidates.items():
         for sigfigs in sigfig_levels:

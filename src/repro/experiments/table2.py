@@ -29,6 +29,10 @@ def run_table2(
     jobs: int | None = 1,
     task_deadline: float | None = None,
     timing=None,
+    journal=None,
+    retry=None,
+    stats=None,
+    fallback: bool = True,
 ) -> list[Table2Record]:
     """One runner task per (case, mode, method) cell; the shared
     per-(case, mode) geometry (switching surface, exact equilibrium) is
@@ -42,14 +46,15 @@ def run_table2(
         Table2Task(
             case_name=name, size=case_by_name(name).size, mode=mode,
             method=key.method, backend=key.backend,
-            sigfigs=sigfigs, validator=validator,
+            sigfigs=sigfigs, validator=validator, fallback=fallback,
         )
         for name in case_names
         for mode in MODES
         for key in methods
     ]
     return run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing
+        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
+        journal=journal, retry=retry, stats=stats,
     )
 
 

@@ -1,16 +1,35 @@
-"""Parallel experiment execution (process pool, timing, task protocol).
+"""Parallel experiment execution (process pool, timing, task protocol,
+durability).
 
 The paper's headline cost is the Table I / Table II / Figure 3 grid —
 hundreds of independent ``(case, mode, method, backend)``
 synthesis+validation tasks. :func:`run_tasks` fans them out over
-shared-nothing worker processes with per-task wall-clock deadlines and
-deterministic result ordering, degrading gracefully to in-process
-execution (``jobs=1`` or no usable pool); :mod:`repro.runner.timing`
-records per-task wall times into the ``BENCH_experiments.json``
-performance-trajectory artifact.
+shared-nothing worker processes with per-task wall-clock deadlines,
+deterministic result ordering, retry-with-backoff for transient
+failures, and graceful degradation to in-process execution (``jobs=1``
+or no usable pool). :mod:`repro.runner.timing` records per-task wall
+times into the ``BENCH_experiments.json`` performance-trajectory
+artifact; :mod:`repro.runner.journal` persists every completed verdict
+to an append-only fsync'd JSONL journal so killed campaigns resume by
+replay; :mod:`repro.runner.chaos` injects deterministic faults to prove
+those invariants hold.
 """
 
-from .core import Task, resolve_jobs, run_tasks
+from .core import (
+    CampaignStats,
+    RetryPolicy,
+    Task,
+    TransientTaskError,
+    resolve_jobs,
+    run_tasks,
+)
+from .chaos import ChaosError, ChaosPermanentError, ChaosPolicy, ChaosTask
+from .journal import (
+    JOURNAL_SALT,
+    Journal,
+    JournalEntry,
+    task_fingerprint,
+)
 from .tasks import (
     Figure3Task,
     PiecewiseTask,
@@ -24,12 +43,24 @@ from .timing import (
     TimingCollector,
     write_bench,
     write_kernels_bench,
+    write_section,
 )
 
 __all__ = [
     "Task",
+    "TransientTaskError",
+    "RetryPolicy",
+    "CampaignStats",
     "run_tasks",
     "resolve_jobs",
+    "Journal",
+    "JournalEntry",
+    "JOURNAL_SALT",
+    "task_fingerprint",
+    "ChaosError",
+    "ChaosPermanentError",
+    "ChaosPolicy",
+    "ChaosTask",
     "Table1Task",
     "RevalidateTask",
     "Figure3Task",
@@ -38,6 +69,7 @@ __all__ = [
     "TaskTiming",
     "TimingCollector",
     "write_bench",
+    "write_section",
     "write_kernels_bench",
     "BENCH_SCHEMA",
 ]

@@ -12,14 +12,29 @@ serial run:
   parallel output renders byte-identically to serial (modulo measured
   wall times, which are stochastic either way).
 * **Per-task deadlines** — a task that exceeds ``task_deadline``
-  seconds has its worker terminated and its :meth:`Task.on_timeout`
-  result recorded; a hung ``eq-smt`` call no longer serializes the
-  whole sweep. (Deadlines are only enforceable in pooled mode — an
-  in-process task cannot be killed.)
+  seconds has its worker terminated and (once retries are exhausted)
+  its :meth:`Task.on_timeout` result recorded; a hung ``eq-smt`` call
+  no longer serializes the whole sweep. (Deadlines are only enforceable
+  in pooled mode — an in-process task cannot be killed.)
+* **Retries with backoff** — *transient* failures (a worker that died
+  without reporting, a deadline kill, a broken pipe, or a task raising
+  :class:`TransientTaskError`) are retried up to
+  :attr:`RetryPolicy.retries` times with exponential backoff plus
+  deterministic jitter (hashed from the submission index and attempt
+  number, so reruns back off identically). *Permanent* failures —
+  ordinary domain exceptions out of :meth:`Task.run` — are recorded
+  once, with a structured ``{"exc", "transient"}`` error record, and
+  never retried. Attempt counts flow into the timing artifact and the
+  :class:`CampaignStats` summary.
+* **Durability** — pass ``journal=`` (a
+  :class:`repro.runner.journal.Journal`) and every completed outcome is
+  fsync'd to an append-only JSONL file keyed by task fingerprint;
+  already-journaled tasks are *replayed* without executing, which is
+  how ``--resume`` turns a killed campaign into a gap re-run.
 * **Graceful degradation** — ``jobs=1``, an unavailable
   ``multiprocessing`` context, or a failed worker spawn all fall back
-  to plain in-process execution; a worker that dies mid-task without
-  reporting gets its task re-run in-process.
+  to plain in-process execution; a worker that dies mid-task with no
+  retries left gets its task re-run in-process.
 * **Shared-nothing protocol** — tasks are small picklable specs
   (:mod:`repro.runner.tasks`) that resolve benchmark cases *by name*
   and rebuild matrices locally in the worker. Workers are persistent,
@@ -30,18 +45,37 @@ serial run:
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import time
 from collections import deque
+from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_ready
 
 from .timing import TaskTiming, TimingCollector
 
-__all__ = ["Task", "run_tasks", "resolve_jobs"]
+__all__ = [
+    "Task",
+    "TransientTaskError",
+    "RetryPolicy",
+    "CampaignStats",
+    "run_tasks",
+    "resolve_jobs",
+]
 
 #: Seconds between scheduler polls while waiting on busy workers.
 _POLL_INTERVAL = 0.05
+
+
+class TransientTaskError(RuntimeError):
+    """A task failure worth retrying (flaky backend, lost resource).
+
+    Raise (or subclass) this from :meth:`Task.run` to mark the failure
+    transient: the runner re-attempts the task under the active
+    :class:`RetryPolicy` instead of recording the error immediately.
+    Any other exception is classified *permanent* and recorded once.
+    """
 
 
 class Task:
@@ -61,6 +95,24 @@ class Task:
         """Identifying fields for timing records, e.g. ``{"case": ...}``."""
         return None
 
+    def fingerprint_spec(self) -> tuple[str, dict]:
+        """``(kind, fields)`` identifying this task for the journal.
+
+        The default — class name plus every instance attribute — is
+        correct for plain task specs; override to drop volatile fields
+        (e.g. measured wall times riding along inside a candidate) that
+        would spuriously change the fingerprint between runs.
+        """
+        return type(self).__name__, dict(vars(self))
+
+    def on_attempt(self, attempt: int) -> None:
+        """Called with the 1-based attempt number before each dispatch."""
+
+    def corrupt_journal_record(self) -> bool:
+        """Chaos hook: ``True`` makes the runner tear this task's journal
+        record (see :mod:`repro.runner.chaos`)."""
+        return False
+
     def on_timeout(self, elapsed: float):
         """Result recorded when the runner kills the task at its deadline."""
         return None
@@ -74,10 +126,87 @@ class Task:
         return {}
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried.
+
+    ``retries`` is the number of *extra* attempts after the first;
+    backoff before attempt ``k+1`` is ``backoff * 2**(k-1)`` capped at
+    ``max_backoff``, scaled by ``1 + jitter`` where the jitter in
+    ``[0, 1)`` is hashed deterministically from ``(token, attempt)`` —
+    identical reruns back off identically, but neighbouring tasks
+    desynchronize.
+    """
+
+    retries: int = 0
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+
+    def delay(self, attempt: int, token) -> float:
+        """Backoff after failed attempt number ``attempt`` (1-based)."""
+        base = min(self.backoff * (2 ** max(0, attempt - 1)), self.max_backoff)
+        digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + jitter)
+
+
+def _resolve_retry(retry) -> RetryPolicy:
+    if retry is None:
+        return RetryPolicy()
+    if isinstance(retry, RetryPolicy):
+        return retry
+    return RetryPolicy(retries=int(retry))
+
+
+@dataclass
+class CampaignStats:
+    """Per-campaign counters for the summary line (and the CLI).
+
+    ``executed`` counts tasks that actually ran this run; ``replayed``
+    counts journal hits; ``retried_tasks``/``retry_attempts`` track the
+    retry machinery; ``degraded`` counts tasks whose result records a
+    backend/validator fallback; ``journal_errors`` counts outcomes that
+    could not be journaled (the campaign continues regardless).
+    """
+
+    total: int = 0
+    executed: int = 0
+    replayed: int = 0
+    retried_tasks: int = 0
+    retry_attempts: int = 0
+    degraded: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    journal_errors: int = 0
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.total} tasks",
+            f"{self.executed} run",
+            f"{self.replayed} replayed",
+            f"{self.retried_tasks} retried (+{self.retry_attempts} attempts)",
+            f"{self.degraded} degraded",
+            f"{self.errors} errors",
+        ]
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.journal_errors:
+            parts.append(f"{self.journal_errors} journal write failures")
+        return "campaign: " + ", ".join(parts)
+
+
 def resolve_jobs(jobs: int | None) -> int:
-    """``None`` means all CPU cores; anything below 1 is clamped to 1."""
+    """``None`` means every *available* CPU; below 1 is clamped to 1.
+
+    Prefers ``os.sched_getaffinity`` over ``os.cpu_count`` so a
+    container or cgroup that pins the process to a CPU subset (typical
+    CI) gets a pool sized to what it may actually use, not to the host.
+    """
     if jobs is None:
-        jobs = os.cpu_count() or 1
+        try:
+            jobs = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):  # non-Linux platforms
+            jobs = os.cpu_count() or 1
     return max(1, int(jobs))
 
 
@@ -86,56 +215,217 @@ def run_tasks(
     jobs: int | None = 1,
     task_deadline: float | None = None,
     collect: TimingCollector | None = None,
+    journal=None,
+    retry: RetryPolicy | int | None = None,
+    stats: CampaignStats | None = None,
 ) -> list:
     """Run every task and return their results in submission order.
 
-    ``jobs=None`` uses all CPU cores, ``jobs=1`` runs in-process (no
-    pool, no deadline enforcement). ``collect`` receives one
-    :class:`~repro.runner.timing.TaskTiming` per task.
+    ``jobs=None`` uses all available CPUs, ``jobs=1`` runs in-process
+    (no pool, no deadline enforcement). ``collect`` receives one
+    :class:`~repro.runner.timing.TaskTiming` per task. ``journal`` (a
+    :class:`repro.runner.journal.Journal`) replays already-recorded
+    tasks and persists fresh outcomes; ``retry`` (a
+    :class:`RetryPolicy`, or an int shorthand for the retry count)
+    re-attempts transient failures; ``stats`` accumulates the campaign
+    summary counters.
     """
     tasks = list(tasks)
+    if stats is None:
+        stats = CampaignStats()
+    stats.total += len(tasks)
     if not tasks:
         return []
-    jobs = min(resolve_jobs(jobs), len(tasks))
-    if jobs == 1:
-        return [_run_local(task, collect) for task in tasks]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork: spawn still works,
-        context = multiprocessing.get_context()  # caches warm per worker
-    return _run_pooled(tasks, jobs, context, task_deadline, collect)
+    run = _Run(tasks, collect, journal, _resolve_retry(retry), stats)
+    todo = run.replay()
+    if todo:
+        jobs = min(resolve_jobs(jobs), len(todo))
+        if jobs == 1:
+            for index, task in todo:
+                _run_local(index, task, run)
+        else:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # platforms without fork: spawn still works,
+                context = multiprocessing.get_context()  # caches warm/worker
+            _run_pooled(todo, jobs, context, task_deadline, run)
+    # Anything not yet finished (shouldn't happen, but never return
+    # holes): run it in-process.
+    for index, task in enumerate(tasks):
+        if not run.done[index]:
+            _run_local(index, task, run)
+    return run.results
+
+
+class _Run:
+    """Bookkeeping shared by the local and pooled execution paths."""
+
+    def __init__(self, tasks, collect, journal, policy, stats):
+        self.tasks = tasks
+        self.results = [None] * len(tasks)
+        self.done = [False] * len(tasks)
+        self.collect = collect
+        self.journal = journal
+        self.policy = policy
+        self.stats = stats
+        self.fingerprints: list[str | None] = [None] * len(tasks)
+        self.attempts: dict[int, int] = {}
+        self.walls: dict[int, float] = {}
+
+    # -- journal replay ------------------------------------------------
+
+    def replay(self) -> list[tuple[int, "Task"]]:
+        """Mark journal hits done; return the (index, task) gaps to run."""
+        if self.journal is None:
+            return list(enumerate(self.tasks))
+        todo = []
+        for index, task in enumerate(self.tasks):
+            fingerprint = self.journal.fingerprint(task)
+            self.fingerprints[index] = fingerprint
+            entry = self.journal.get(fingerprint)
+            if entry is None:
+                todo.append((index, task))
+                continue
+            self.results[index] = entry.result
+            self.done[index] = True
+            self.stats.replayed += 1
+            self._emit_timing(
+                task, "replayed", 0.0, "journal", entry.result,
+                attempts=0, error=entry.error,
+            )
+        return todo
+
+    # -- attempt accounting --------------------------------------------
+
+    def next_attempt(self, index: int) -> int:
+        attempt = self.attempts.get(index, 0) + 1
+        self.attempts[index] = attempt
+        return attempt
+
+    def may_retry(self, index: int) -> bool:
+        """Is another attempt allowed after the current one failed?"""
+        return self.attempts.get(index, 1) <= self.policy.retries
+
+    def spend(self, index: int, wall: float) -> None:
+        self.walls[index] = self.walls.get(index, 0.0) + wall
+
+    # -- completion ----------------------------------------------------
+
+    def finish(self, index, task, status, worker, result, error=None):
+        """Record a final outcome: result slot, stats, timing, journal."""
+        self.results[index] = result
+        self.done[index] = True
+        attempts = self.attempts.get(index, 1)
+        self.stats.executed += 1
+        if attempts > 1:
+            self.stats.retried_tasks += 1
+            self.stats.retry_attempts += attempts - 1
+        if status == "error":
+            self.stats.errors += 1
+        elif status == "timeout":
+            self.stats.timeouts += 1
+        detail = self._emit_timing(
+            task, status, self.walls.get(index, 0.0), worker, result,
+            attempts=attempts, error=error,
+        )
+        if detail.get("degraded"):
+            self.stats.degraded += 1
+        if self.journal is not None:
+            self._journal_write(index, task, status, result, attempts, error)
+
+    def _emit_timing(
+        self, task, status, wall, worker, result, attempts, error
+    ) -> dict:
+        detail: dict = {}
+        if status in ("ok", "fallback", "replayed"):
+            try:
+                detail = task.timing_detail(result) or {}
+            except Exception:
+                detail = {}
+        if self.collect is not None:
+            self.collect.record(
+                TaskTiming(
+                    key=task.key(), status=status, wall_s=wall,
+                    worker=str(worker), detail=detail,
+                    attempts=attempts, error=error,
+                )
+            )
+        return detail
+
+    def _journal_write(self, index, task, status, result, attempts, error):
+        fingerprint = self.fingerprints[index]
+        if fingerprint is None:
+            fingerprint = self.journal.fingerprint(task)
+            self.fingerprints[index] = fingerprint
+        kind = type(task).__name__
+        try:
+            if task.corrupt_journal_record():
+                self.journal.record_corrupt(fingerprint, kind)
+            else:
+                self.journal.record(
+                    fingerprint, kind, status, result,
+                    attempts=attempts, error=error,
+                )
+        except Exception:
+            # A journaling failure must not take down the campaign; the
+            # task simply re-runs on the next resume.
+            self.stats.journal_errors += 1
+
+
+def _exc_message(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
 
 
 # ----------------------------------------------------------------------
 # In-process execution (the jobs=1 path and the fallback of last resort)
 # ----------------------------------------------------------------------
 
-def _run_local(task: Task, collect, status: str = "ok"):
+def _run_local(index, task, run: _Run, status: str = "ok"):
+    """Run one task in-process, honouring the retry policy."""
+    while True:
+        attempt = run.next_attempt(index)
+        try:
+            task.on_attempt(attempt)
+        except Exception:
+            pass
+        start = time.perf_counter()
+        try:
+            result = task.run()
+            error = None
+        except TransientTaskError as exc:
+            run.spend(index, time.perf_counter() - start)
+            if run.may_retry(index):
+                time.sleep(run.policy.delay(attempt, index))
+                continue
+            result = task.on_error(_exc_message(exc))
+            status = "error"
+            error = {"exc": _exc_message(exc), "transient": True}
+        except Exception as exc:
+            run.spend(index, time.perf_counter() - start)
+            result = task.on_error(_exc_message(exc))
+            status = "error"
+            error = {"exc": _exc_message(exc), "transient": False}
+        else:
+            run.spend(index, time.perf_counter() - start)
+        run.finish(index, task, status, "local", result, error)
+        return result
+
+
+def _run_local_once(index, task, run: _Run, status: str):
+    """Single local attempt (no further retries) for last-resort paths."""
     start = time.perf_counter()
+    error = None
     try:
         result = task.run()
     except Exception as exc:
-        result = task.on_error(f"{type(exc).__name__}: {exc}")
+        result = task.on_error(_exc_message(exc))
         status = "error"
-    _record(collect, task, status, time.perf_counter() - start, "local", result)
-    return result
-
-
-def _record(collect, task, status, wall, worker, result):
-    if collect is None:
-        return
-    detail: dict = {}
-    if status in ("ok", "fallback"):
-        try:
-            detail = task.timing_detail(result) or {}
-        except Exception:
-            detail = {}
-    collect.record(
-        TaskTiming(
-            key=task.key(), status=status, wall_s=wall,
-            worker=str(worker), detail=detail,
-        )
-    )
+        error = {
+            "exc": _exc_message(exc),
+            "transient": isinstance(exc, TransientTaskError),
+        }
+    run.spend(index, time.perf_counter() - start)
+    run.finish(index, task, status, "local", result, error)
 
 
 # ----------------------------------------------------------------------
@@ -144,7 +434,9 @@ def _record(collect, task, status, wall, worker, result):
 
 def _worker_loop(connection):
     """Persistent worker: receive ``(index, task)``, send back
-    ``(index, status, payload)``; ``None`` shuts the worker down."""
+    ``(index, status, payload)``; ``None`` shuts the worker down. Errors
+    are reported structurally (message + transient classification), not
+    by killing the worker."""
     while True:
         try:
             message = connection.recv()
@@ -156,11 +448,29 @@ def _worker_loop(connection):
         try:
             payload = (index, "ok", task.run())
         except BaseException as exc:  # report, don't kill the worker
-            payload = (index, "error", f"{type(exc).__name__}: {exc}")
+            payload = (
+                index,
+                "error",
+                {
+                    "exc": _exc_message(exc),
+                    "transient": isinstance(exc, TransientTaskError),
+                },
+            )
         try:
             connection.send(payload)
         except (BrokenPipeError, OSError):
             break
+        except Exception as exc:  # unpicklable result: report, carry on
+            try:
+                connection.send(
+                    (
+                        index,
+                        "error",
+                        {"exc": _exc_message(exc), "transient": False},
+                    )
+                )
+            except Exception:
+                break
     try:
         connection.close()
     except OSError:
@@ -210,16 +520,20 @@ def _spawn_worker(context) -> _Worker:
     return _Worker(process, parent_end)
 
 
-def _run_pooled(tasks, jobs, context, task_deadline, collect):
-    results = [None] * len(tasks)
-    done = [False] * len(tasks)
-    pending = deque(enumerate(tasks))
+def _run_pooled(todo, jobs, context, task_deadline, run: _Run):
+    pending = deque(todo)
+    delayed: list[tuple[float, int, Task]] = []  # (ready_at, index, task)
     workers: list[_Worker] = []
 
-    def finish(index, task, status, wall, worker_label, result):
-        results[index] = result
-        done[index] = True
-        _record(collect, task, status, wall, worker_label, result)
+    def requeue(index, task):
+        """Schedule a retry after its deterministic backoff."""
+        ready = time.monotonic() + run.policy.delay(
+            run.attempts.get(index, 1), index
+        )
+        delayed.append((ready, index, task))
+
+    def work_remains() -> bool:
+        return bool(pending or delayed)
 
     try:
         for _ in range(jobs):
@@ -227,29 +541,49 @@ def _run_pooled(tasks, jobs, context, task_deadline, collect):
                 workers.append(_spawn_worker(context))
             except (OSError, ValueError):
                 break
-        while pending or any(w.busy for w in workers):
+        while pending or delayed or any(w.busy for w in workers):
+            now = time.monotonic()
+            if delayed:
+                due = sorted(d for d in delayed if d[0] <= now)
+                if due:
+                    delayed = [d for d in delayed if d[0] > now]
+                    for _ready, index, task in due:
+                        pending.append((index, task))
             if not workers:
                 # Pool unavailable (or every worker lost): degrade to
                 # in-process execution for whatever remains.
+                for _ready, index, task in sorted(delayed):
+                    pending.append((index, task))
+                delayed = []
                 while pending:
                     index, task = pending.popleft()
-                    results[index] = _run_local(task, collect)
-                    done[index] = True
+                    _run_local(index, task, run)
                 break
             for worker in workers:
                 if not worker.busy and pending:
                     index, task = pending.popleft()
+                    attempt = run.next_attempt(index)
+                    try:
+                        task.on_attempt(attempt)
+                    except Exception:
+                        pass
                     try:
                         worker.connection.send((index, task))
                     except Exception:
                         # Unpicklable task or broken pipe: run it here.
-                        results[index] = _run_local(task, collect)
-                        done[index] = True
+                        _run_local_once(index, task, run, status="ok")
                         continue
                     worker.index, worker.task = index, task
                     worker.started = time.monotonic()
             busy = [w for w in workers if w.busy]
             if not busy:
+                if not pending and delayed:
+                    time.sleep(
+                        min(
+                            _POLL_INTERVAL,
+                            max(0.0, min(d[0] for d in delayed) - now),
+                        )
+                    )
                 continue
             ready = _wait_ready(
                 [w.connection for w in busy], timeout=_POLL_INTERVAL
@@ -257,45 +591,58 @@ def _run_pooled(tasks, jobs, context, task_deadline, collect):
             now = time.monotonic()
             for worker in busy:
                 if worker.connection in ready:
-                    if not _collect_reply(worker, finish, now):
-                        workers = _replace(workers, worker, context, pending)
+                    if not _collect_reply(worker, run, now, requeue):
+                        workers = _replace(
+                            workers, worker, context, work_remains()
+                        )
                 elif not worker.process.is_alive():
                     # Died without reporting (segfault, os._exit): give
-                    # any in-flight reply a last chance, then fall back.
-                    if not _collect_reply(worker, finish, now):
-                        finish(
-                            worker.index, worker.task, "fallback",
-                            now - worker.started, "local",
-                            _run_local(worker.task, None),
-                        )
+                    # any in-flight reply a last chance, then classify
+                    # the death as transient.
+                    if not _collect_reply(worker, run, now, requeue):
+                        index, task = worker.index, worker.task
+                        run.spend(index, now - worker.started)
                         worker.clear()
-                    workers = _replace(workers, worker, context, pending)
+                        if run.may_retry(index):
+                            requeue(index, task)
+                        else:
+                            _run_local_once(index, task, run, "fallback")
+                    workers = _replace(
+                        workers, worker, context, work_remains()
+                    )
                 elif (
                     task_deadline is not None
                     and now - worker.started > task_deadline
                 ):
                     elapsed = now - worker.started
+                    index, task = worker.index, worker.task
                     worker.process.terminate()
                     worker.process.join(timeout=5.0)
-                    finish(
-                        worker.index, worker.task, "timeout", elapsed,
-                        worker.process.pid,
-                        worker.task.on_timeout(elapsed),
-                    )
+                    run.spend(index, elapsed)
                     worker.clear()
-                    workers = _replace(workers, worker, context, pending)
+                    if run.may_retry(index):
+                        requeue(index, task)
+                    else:
+                        run.finish(
+                            index, task, "timeout", worker.process.pid,
+                            task.on_timeout(elapsed),
+                            error={
+                                "exc": (
+                                    f"deadline exceeded ({elapsed:.3g}s"
+                                    f" > {task_deadline:.3g}s)"
+                                ),
+                                "transient": True,
+                            },
+                        )
+                    workers = _replace(
+                        workers, worker, context, work_remains()
+                    )
     finally:
         for worker in workers:
             worker.stop()
-    # Anything not yet finished (shouldn't happen, but never return
-    # holes): run it in-process.
-    for index, task in enumerate(tasks):
-        if not done[index]:
-            results[index] = _run_local(task, collect)
-    return results
 
 
-def _collect_reply(worker, finish, now) -> bool:
+def _collect_reply(worker, run: _Run, now, requeue) -> bool:
     """Receive one reply from ``worker`` if available; ``True`` on success."""
     try:
         if not worker.connection.poll():
@@ -304,25 +651,28 @@ def _collect_reply(worker, finish, now) -> bool:
     except (EOFError, OSError):
         return False
     task = worker.task
-    elapsed = now - worker.started
-    if status == "ok":
-        finish(index, task, "ok", elapsed, worker.process.pid, payload)
-    else:
-        finish(
-            index, task, "error", elapsed, worker.process.pid,
-            task.on_error(payload),
-        )
+    run.spend(index, now - worker.started)
     worker.clear()
+    if status == "ok":
+        run.finish(index, task, "ok", worker.process.pid, payload)
+        return True
+    if payload.get("transient") and run.may_retry(index):
+        requeue(index, task)
+        return True
+    run.finish(
+        index, task, "error", worker.process.pid,
+        task.on_error(payload.get("exc", "task error")), error=payload,
+    )
     return True
 
 
-def _replace(workers, dead, context, pending):
+def _replace(workers, dead, context, work_remains):
     """Swap a stopped worker for a fresh one (only while work remains)."""
     remaining = [w for w in workers if w is not dead]
     if dead.process.is_alive():
         return workers  # still healthy — keep it
     dead.stop()
-    if pending:
+    if work_remains:
         try:
             remaining.append(_spawn_worker(context))
         except (OSError, ValueError):

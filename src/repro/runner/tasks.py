@@ -42,6 +42,22 @@ __all__ = [
 ]
 
 
+def _candidate_fingerprint(candidate) -> dict:
+    """The stable identity of a candidate for journal fingerprints.
+
+    ``P`` (deterministically synthesized), the method and the backend
+    identify the candidate; measured wall times and solver diagnostics
+    (``synthesis_time``, ``info``) are volatile across runs and must
+    not perturb the fingerprint, or resumed campaigns would never
+    replay validation tasks.
+    """
+    return {
+        "p": candidate.p.tolist(),
+        "method": candidate.method,
+        "backend": candidate.backend,
+    }
+
+
 @lru_cache(maxsize=64)
 def _exact_mode_matrix(case_name: str, mode: int) -> RationalMatrix:
     """Per-process cache of a case's exact closed-loop mode matrix.
@@ -64,6 +80,7 @@ class Table1Task(Task):
     def __init__(
         self, case_name, size, mode, method, backend,
         eq_smt_deadline, validator, sigfigs, keep_candidate=False,
+        fallback=True,
     ):
         self.case_name = case_name
         self.size = size
@@ -74,6 +91,7 @@ class Table1Task(Task):
         self.validator = validator
         self.sigfigs = sigfigs
         self.keep_candidate = keep_candidate
+        self.fallback = fallback
 
     def key(self):
         return {
@@ -98,13 +116,14 @@ class Table1Task(Task):
         report = validate_candidate(
             candidate, a, sigfigs=self.sigfigs, validator=self.validator,
             exact_a=_exact_mode_matrix(self.case_name, self.mode),
+            fallback=self.fallback,
         )
         record = Table1Record(
             case=self.case_name, size=self.size, mode=self.mode,
             method=self.method, backend=self.backend,
             synth_time=candidate.synthesis_time, synth_status="ok",
             valid=report.valid, validation_time=report.total_time,
-            sigfigs=self.sigfigs,
+            sigfigs=self.sigfigs, degraded=report.degraded,
         )
         return record, (candidate if self.keep_candidate else None)
 
@@ -129,6 +148,8 @@ class Table1Task(Task):
             detail["synth_s"] = record.synth_time
         if record.validation_time is not None:
             detail["validate_s"] = record.validation_time
+        if record.degraded:
+            detail["degraded"] = record.degraded
         return detail
 
 
@@ -137,7 +158,7 @@ class RevalidateTask(Task):
 
     def __init__(
         self, case_name, size, mode, method, backend,
-        candidate, sigfigs, validator,
+        candidate, sigfigs, validator, fallback=True,
     ):
         self.case_name = case_name
         self.size = size
@@ -147,6 +168,7 @@ class RevalidateTask(Task):
         self.candidate = candidate
         self.sigfigs = sigfigs
         self.validator = validator
+        self.fallback = fallback
 
     def key(self):
         return {
@@ -155,22 +177,30 @@ class RevalidateTask(Task):
             "sigfigs": self.sigfigs,
         }
 
+    def fingerprint_spec(self):
+        fields = dict(vars(self))
+        fields["candidate"] = _candidate_fingerprint(fields["candidate"])
+        return type(self).__name__, fields
+
     def run(self):
         case = case_by_name(self.case_name)
         a = case.mode_matrix(self.mode)
         report = validate_candidate(
             self.candidate, a, sigfigs=self.sigfigs, validator=self.validator,
             exact_a=_exact_mode_matrix(self.case_name, self.mode),
+            fallback=self.fallback,
         )
-        return self._record(report.valid, report.total_time)
+        return self._record(
+            report.valid, report.total_time, degraded=report.degraded
+        )
 
-    def _record(self, valid, validation_time):
+    def _record(self, valid, validation_time, degraded=()):
         return Table1Record(
             case=self.case_name, size=self.size, mode=self.mode,
             method=self.method, backend=self.backend,
             synth_time=self.candidate.synthesis_time, synth_status="ok",
             valid=valid, validation_time=validation_time,
-            sigfigs=self.sigfigs,
+            sigfigs=self.sigfigs, degraded=list(degraded),
         )
 
     def on_timeout(self, elapsed):
@@ -180,9 +210,12 @@ class RevalidateTask(Task):
         return self._record(None, None)
 
     def timing_detail(self, result):
-        if result.validation_time is None:
-            return {}
-        return {"validate_s": result.validation_time}
+        detail = {}
+        if result.validation_time is not None:
+            detail["validate_s"] = result.validation_time
+        if result.degraded:
+            detail["degraded"] = result.degraded
+        return detail
 
 
 class Figure3Task(Task):
@@ -190,7 +223,7 @@ class Figure3Task(Task):
 
     def __init__(
         self, case_name, size, mode, method, backend,
-        candidate, validator, options,
+        candidate, validator, options, fallback=True,
     ):
         self.case_name = case_name
         self.size = size
@@ -200,6 +233,7 @@ class Figure3Task(Task):
         self.candidate = candidate
         self.validator = validator
         self.options = options
+        self.fallback = fallback
 
     def key(self):
         return {
@@ -208,12 +242,18 @@ class Figure3Task(Task):
             "validator": self.validator,
         }
 
+    def fingerprint_spec(self):
+        fields = dict(vars(self))
+        fields["candidate"] = _candidate_fingerprint(fields["candidate"])
+        return type(self).__name__, fields
+
     def run(self):
         case = case_by_name(self.case_name)
         a = case.mode_matrix(self.mode)
         report = validate_candidate(
             self.candidate, a, validator=self.validator,
             exact_a=_exact_mode_matrix(self.case_name, self.mode),
+            fallback=self.fallback,
             **self.options,
         )
         return Figure3Record(
@@ -222,10 +262,14 @@ class Figure3Task(Task):
             validator=self.validator,
             valid=report.valid,
             time=report.total_time,
+            degraded=report.degraded,
         )
 
     def timing_detail(self, result):
-        return {"validate_s": result.time}
+        detail = {"validate_s": result.time}
+        if result.degraded:
+            detail["degraded"] = result.degraded
+        return detail
 
 
 @lru_cache(maxsize=64)
@@ -251,7 +295,7 @@ class Table2Task(Task):
     """One Table II cell: synthesis, validation, robust region, radii."""
 
     def __init__(self, case_name, size, mode, method, backend,
-                 sigfigs, validator):
+                 sigfigs, validator, fallback=True):
         self.case_name = case_name
         self.size = size
         self.mode = mode
@@ -259,6 +303,7 @@ class Table2Task(Task):
         self.backend = backend
         self.sigfigs = sigfigs
         self.validator = validator
+        self.fallback = fallback
 
     def key(self):
         return {
@@ -303,7 +348,7 @@ class Table2Task(Task):
             return self._skipped("synthesis failed")
         report = validate_candidate(
             candidate, flow.a, sigfigs=self.sigfigs, validator=self.validator,
-            exact_a=a_exact,
+            exact_a=a_exact, fallback=self.fallback,
         )
         if report.valid is not True:
             # The paper leaves such cells empty (LMIalpha+/Mosek, size 18).

@@ -21,14 +21,21 @@ Schema (``repro-bench/2``; ``/1`` files are migrated in place — the
             {
               "case": "size3i", "mode": 0,
               "method": "eq-num", "backend": null,   # the task key
-              "status": "ok",           # ok|error|timeout|fallback
-              "wall_s": 0.0123,         # task wall clock in its worker
-              "worker": "12345",        # worker pid, or "local"
+              "status": "ok",           # ok|error|timeout|fallback|replayed
+              "wall_s": 0.0123,         # wall clock, summed over attempts
+              "worker": "12345",        # worker pid, "local", or "journal"
+              "attempts": 1,            # attempts made (0 = journal replay)
+              "error": {"exc": "...",   # structured failure record, only
+                        "transient": false},  # when the task failed
               "synth_s": 0.0004,        # driver-specific detail fields
-              "validate_s": 0.0119
+              "validate_s": 0.0119,
+              "degraded": [...]         # fallback provenance, when any
             }, ...
           ]
         }, ...
+      },
+      "resilience": {                   # journal/resume overheads
+        ...                             # (benchmarks/test_resilience.py)
       },
       "kernels": {                      # exact-kernel micro-benchmarks
         "sizes": {                      # closed-loop matrix dimension
@@ -63,6 +70,7 @@ __all__ = [
     "TaskTiming",
     "TimingCollector",
     "write_bench",
+    "write_section",
     "write_kernels_bench",
     "BENCH_SCHEMA",
 ]
@@ -75,19 +83,31 @@ _BENCH_SCHEMA_V1 = "repro-bench/1"
 
 @dataclass
 class TaskTiming:
-    """Wall-clock record of one runner task."""
+    """Wall-clock record of one runner task.
+
+    ``wall_s`` accumulates across retry attempts; ``attempts`` is the
+    number of attempts actually made (0 for a journal replay). ``error``
+    is the runner's structured failure record
+    (``{"exc": message, "transient": bool}``) when the task ultimately
+    failed, ``None`` otherwise.
+    """
 
     key: dict | None
-    status: str  # "ok" | "error" | "timeout" | "fallback"
+    status: str  # "ok" | "error" | "timeout" | "fallback" | "replayed"
     wall_s: float
-    worker: str  # worker pid as a string, or "local"
+    worker: str  # worker pid as a string, "local", or "journal"
     detail: dict = field(default_factory=dict)
+    attempts: int = 1
+    error: dict | None = None
 
     def as_entry(self) -> dict:
         entry = dict(self.key or {})
         entry["status"] = self.status
         entry["wall_s"] = self.wall_s
         entry["worker"] = self.worker
+        entry["attempts"] = self.attempts
+        if self.error is not None:
+            entry["error"] = dict(self.error)
         entry.update(self.detail)
         return entry
 
@@ -137,6 +157,17 @@ def write_bench(
     return data
 
 
+def write_section(path: str | pathlib.Path, name: str, payload: dict) -> dict:
+    """Merge one top-level section (e.g. ``"kernels"``, ``"resilience"``)
+    into the artifact, preserving everything else. Returns the written
+    document."""
+    path = pathlib.Path(path)
+    data = _load_bench(path)
+    data[name] = payload
+    _dump_bench(path, data)
+    return data
+
+
 def write_kernels_bench(path: str | pathlib.Path, kernels: dict) -> dict:
     """Merge the exact-kernel micro-benchmark section into the artifact.
 
@@ -145,11 +176,7 @@ def write_kernels_bench(path: str | pathlib.Path, kernels: dict) -> dict:
     writes); every ``experiments`` entry is preserved. Returns the
     written document.
     """
-    path = pathlib.Path(path)
-    data = _load_bench(path)
-    data["kernels"] = kernels
-    _dump_bench(path, data)
-    return data
+    return write_section(path, "kernels", kernels)
 
 
 def _load_bench(path: pathlib.Path) -> dict:

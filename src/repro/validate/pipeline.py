@@ -57,6 +57,41 @@ class ValidationReport:
         """Sum of the two checks' wall-clock times."""
         return self.positivity.time + self.decrease.time
 
+    @property
+    def degraded(self) -> list[dict]:
+        """Fallback/escalation provenance aggregated over both checks.
+
+        One entry per degradation hop, each tagged with the check stage
+        (``"positivity"``/``"decrease"``); empty for a clean run. See
+        :mod:`repro.validate.validators` for the per-check encoding.
+        """
+        hops: list[dict] = []
+        for stage, result in (
+            ("positivity", self.positivity),
+            ("decrease", self.decrease),
+        ):
+            for hop in result.extra.get("backend_fallbacks", ()):
+                hops.append(
+                    {
+                        "stage": stage,
+                        "kind": "kernel-backend",
+                        "failed": hop["backend"],
+                        "used": result.extra.get("backend"),
+                        "error": hop["error"],
+                    }
+                )
+            if "escalated_from" in result.extra:
+                hops.append(
+                    {
+                        "stage": stage,
+                        "kind": "validator",
+                        "failed": result.extra["escalated_from"],
+                        "used": result.validator,
+                        "error": result.extra.get("escalation_error"),
+                    }
+                )
+        return hops
+
 
 def validate_candidate(
     candidate: LyapunovCandidate,
@@ -64,9 +99,16 @@ def validate_candidate(
     sigfigs: int | None = 10,
     validator: str = "sylvester",
     exact_a: RationalMatrix | None = None,
+    fallback: bool = True,
     **validator_options,
 ) -> ValidationReport:
-    """Round the candidate and prove (or refute) both Lyapunov conditions."""
+    """Round the candidate and prove (or refute) both Lyapunov conditions.
+
+    ``fallback`` arms the validator degradation chains (kernel-backend
+    fallback, sylvester→sympy escalation); pass ``False`` to let
+    validator errors propagate instead. Any degradation that occurred
+    is visible in :attr:`ValidationReport.degraded`.
+    """
     p_exact = candidate.exact_p(sigfigs)
     a_exact = (
         exact_a
@@ -77,7 +119,9 @@ def validate_candidate(
         raise ValueError(
             f"A {a_exact.shape} and P {p_exact.shape} dimension mismatch"
         )
-    positivity = run_validator(validator, p_exact, **validator_options)
+    positivity = run_validator(
+        validator, p_exact, fallback=fallback, **validator_options
+    )
     if positivity.valid is False:
         # Short-circuit like the paper's pipeline: an invalid P already
         # settles the verdict; record a zero-cost decrease result.
@@ -87,7 +131,9 @@ def validate_candidate(
         )
     else:
         lie = lie_derivative_exact(p_exact, a_exact)
-        decrease = run_validator(validator, lie.scale(-1), **validator_options)
+        decrease = run_validator(
+            validator, lie.scale(-1), fallback=fallback, **validator_options
+        )
     return ValidationReport(
         validator=validator,
         sigfigs=sigfigs,

@@ -26,6 +26,25 @@ The three exact validators accept a ``backend`` option
 backend="int")`` decides the same verdict from integer kernels after a
 single denominator clearing, while ``backend="fraction"`` pins the
 historical Fraction oracle — the pair powers the differential tests.
+
+**Graceful degradation.** Verdicts must survive a flaky backend, so
+failures degrade along two chains (opt out with ``fallback=False``,
+the CLI's ``--no-fallback``):
+
+* a kernel backend that *raises* falls back ``modular -> int ->
+  fraction`` (:data:`repro.exact.kernels.KERNEL_FALLBACKS`) inside the
+  same validator;
+* a validator whose every backend failed escalates to the independent
+  ``sympy`` implementation (:data:`VALIDATOR_ESCALATION`).
+
+Every hop is recorded in :attr:`ValidatorResult.extra` so degraded
+results stay distinguishable from clean ones:
+``extra["backend_fallbacks"]`` is the list of
+``{"backend", "error"}`` hops that *failed* (with ``extra["backend"]``
+then naming the backend that actually decided), and
+``extra["escalated_from"]``/``extra["escalation_error"]`` mark a
+validator swap (``ValidatorResult.validator`` then names the validator
+that produced the verdict). A clean run carries none of these keys.
 """
 
 from __future__ import annotations
@@ -37,13 +56,20 @@ from typing import Callable
 from ..exact import (
     RationalMatrix,
     definiteness_counterexample,
+    fallback_backend,
     gauss_positive_definite,
     ldl_positive_definite,
+    resolve_backend,
     sylvester_positive_definite,
 )
 from ..smt import check_positive_definite_icp
 
-__all__ = ["ValidatorResult", "VALIDATORS", "run_validator"]
+__all__ = [
+    "ValidatorResult",
+    "VALIDATORS",
+    "VALIDATOR_ESCALATION",
+    "run_validator",
+]
 
 
 @dataclass
@@ -52,6 +78,8 @@ class ValidatorResult:
 
     ``valid`` is ``True``/``False`` for a proof either way and ``None``
     when the validator could not decide (ICP budget exhausted).
+    ``extra`` carries validator statistics and, for degraded runs, the
+    fallback/escalation provenance described in the module docstring.
     """
 
     validator: str
@@ -60,14 +88,44 @@ class ValidatorResult:
     counterexample: list | None = None
     extra: dict = field(default_factory=dict)
 
+    @property
+    def degraded(self) -> bool:
+        """Did a backend fallback or validator escalation occur?"""
+        return bool(
+            self.extra.get("backend_fallbacks")
+            or self.extra.get("escalated_from")
+        )
+
 
 def _with_witness(check: Callable[..., bool]):
     def run(
-        matrix: RationalMatrix, backend: str = "auto", **_options
+        matrix: RationalMatrix,
+        backend: str = "auto",
+        fallback: bool = True,
+        **_options,
     ) -> tuple[bool, list | None, dict]:
-        verdict = check(matrix, backend=backend)
+        mode = resolve_backend(backend, matrix.rows, op="minors")
+        hops: list[dict] = []
+        while True:
+            try:
+                verdict = check(matrix, backend=mode)
+                break
+            except Exception as exc:
+                nxt = fallback_backend(mode) if fallback else None
+                if nxt is None:
+                    raise
+                hops.append(
+                    {
+                        "backend": mode,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+                mode = nxt
         witness = None if verdict else definiteness_counterexample(matrix)
-        extra = {} if backend == "auto" else {"backend": backend}
+        extra: dict = {} if backend == "auto" else {"backend": backend}
+        if hops:
+            extra["backend"] = mode  # the backend that actually decided
+            extra["backend_fallbacks"] = hops
         return verdict, witness, extra
 
     return run
@@ -86,7 +144,12 @@ def _sympy_validator(matrix: RationalMatrix, **_options):
 
 
 def _icp_validator(plus_det: bool):
-    def run(matrix: RationalMatrix, max_boxes: int = 200_000, delta: float = 1e-7):
+    def run(
+        matrix: RationalMatrix,
+        max_boxes: int = 200_000,
+        delta: float = 1e-7,
+        **_options,
+    ):
         outcome = check_positive_definite_icp(
             matrix, plus_det=plus_det, delta=delta, max_boxes=max_boxes
         )
@@ -112,18 +175,52 @@ VALIDATORS: dict[str, Callable] = {
     "icp+det": _icp_validator(plus_det=True),
 }
 
+#: When an exact validator fails outright (even its last kernel backend
+#: raised, or the implementation itself broke), the verdict escalates to
+#: the independent SymPy implementation rather than aborting the task.
+VALIDATOR_ESCALATION: dict[str, str] = {
+    "sylvester": "sympy",
+    "gauss": "sympy",
+    "ldl": "sympy",
+}
+
 
 def run_validator(
-    name: str, matrix: RationalMatrix, **options
+    name: str,
+    matrix: RationalMatrix,
+    fallback: bool = True,
+    **options,
 ) -> ValidatorResult:
-    """Run one registered validator and time it."""
+    """Run one registered validator and time it.
+
+    ``fallback=True`` (the default) arms both degradation chains:
+    kernel-backend fallback inside the exact validators, and validator
+    escalation per :data:`VALIDATOR_ESCALATION` when the named
+    validator fails entirely. ``fallback=False`` lets the original
+    exception propagate instead.
+    """
     if name not in VALIDATORS:
         raise KeyError(f"unknown validator {name!r}; known: {sorted(VALIDATORS)}")
     start = time.perf_counter()
-    valid, witness, extra = VALIDATORS[name](matrix, **options)
+    used = name
+    try:
+        valid, witness, extra = VALIDATORS[name](
+            matrix, fallback=fallback, **options
+        )
+    except Exception as exc:
+        escalation = VALIDATOR_ESCALATION.get(name) if fallback else None
+        if escalation is None:
+            raise
+        valid, witness, extra = VALIDATORS[escalation](
+            matrix, fallback=fallback, **options
+        )
+        extra = dict(extra)
+        extra["escalated_from"] = name
+        extra["escalation_error"] = f"{type(exc).__name__}: {exc}"
+        used = escalation
     elapsed = time.perf_counter() - start
     return ValidatorResult(
-        validator=name,
+        validator=used,
         valid=valid,
         time=elapsed,
         counterexample=witness,

@@ -5,6 +5,7 @@ import pytest
 
 from repro.engine import build_engine_plant, nominal_reference
 from repro.engine.faults import (
+    NO_DESTABILIZING_MARGIN,
     Fault,
     apply_fault,
     bias_shifts_equilibrium,
@@ -99,6 +100,38 @@ class TestFaultMargin:
         )
         with pytest.raises(ValueError):
             fault_margin(bad, "actuator-effectiveness", 0)
+
+    def test_severity_zero_is_strictly_inside_the_margin(self, plant):
+        """Bisection edge: the nominal (severity-0) loop is stable, so
+        every finite margin must be strictly positive."""
+        margin = fault_margin(plant, "sensor-gain", 0)
+        assert margin > 0.0
+
+    def test_severity_one_unstable_brackets_the_margin(self, plant):
+        """Bisection edge: when total loss destabilizes, the returned
+        margin is finite, still stable, and unstable just above."""
+        tolerance = 1e-3
+        margin = fault_margin(
+            plant, "sensor-gain", 0, tolerance=tolerance
+        )
+        assert margin < 1.0
+        stable = stability_under_fault(
+            plant, Fault("sensor-gain", 0, margin)
+        )
+        assert max(stable.values()) < 0
+        unstable = stability_under_fault(
+            plant, Fault("sensor-gain", 0, min(1.0, margin + 2 * tolerance))
+        )
+        assert max(unstable.values()) >= 0
+
+    def test_non_destabilizing_family_returns_sentinel(self, plant):
+        """Mode 0 ignores y1 (no gain on that error), so a sensor-gain
+        fault there can never destabilize mode 0: the no-margin sentinel
+        comes back, distinguishable from a genuine margin at the cap."""
+        margin = fault_margin(plant, "sensor-gain", 1, modes=(0,))
+        assert margin == NO_DESTABILIZING_MARGIN
+        assert np.isinf(margin)
+        assert margin != 1.0
 
 
 class TestBiasAnalysis:

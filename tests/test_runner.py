@@ -16,8 +16,11 @@ from repro.experiments import (
 )
 from repro.runner import (
     BENCH_SCHEMA,
+    CampaignStats,
+    RetryPolicy,
     Task,
     TimingCollector,
+    TransientTaskError,
     resolve_jobs,
     run_tasks,
     write_bench,
@@ -82,6 +85,55 @@ class DieTask(Task):
         return "ran-in-parent"
 
 
+class FlakyTask(Task):
+    """Raises transiently until the configured attempt is reached."""
+
+    def __init__(self, succeed_on):
+        self.succeed_on = succeed_on
+        self.attempt = 1
+
+    def on_attempt(self, attempt):
+        self.attempt = attempt
+
+    def run(self):
+        if self.attempt < self.succeed_on:
+            raise TransientTaskError(f"flaky attempt {self.attempt}")
+        return ("ok", self.attempt)
+
+
+class FlakyDieTask(Task):
+    """Kills its worker process until the configured attempt."""
+
+    def __init__(self, succeed_on):
+        self.succeed_on = succeed_on
+        self.attempt = 1
+        self.parent_pid = os.getpid()
+
+    def on_attempt(self, attempt):
+        self.attempt = attempt
+
+    def run(self):
+        if os.getpid() != self.parent_pid and self.attempt < self.succeed_on:
+            os._exit(9)
+        return ("ok", self.attempt)
+
+
+class PermanentCrashTask(Task):
+    """A domain error: must never be retried."""
+
+    def __init__(self):
+        self.runs = 0
+
+    def on_attempt(self, attempt):
+        self.attempt = attempt
+
+    def run(self):
+        raise ValueError("bad domain input")
+
+    def on_error(self, message):
+        return ("failed", message)
+
+
 def _normalize(record):
     """Zero the stochastic wall-clock fields, keeping their None-ness."""
     return dataclasses.replace(
@@ -107,7 +159,14 @@ class TestCore:
         assert run_tasks(tasks, jobs=2) == ["slow", "fast1", "fast2"]
 
     def test_resolve_jobs(self):
-        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        # The default honours the CPU *affinity* mask (what a container
+        # or taskset actually grants), not the machine's core count.
+        expected = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1)
+        )
+        assert resolve_jobs(None) == expected
         assert resolve_jobs(0) == 1
         assert resolve_jobs(3) == 3
 
@@ -154,6 +213,80 @@ class TestCore:
         assert task.on_timeout(1.0) is None
         assert task.on_error("x") is None
         assert task.timing_detail(None) == {}
+
+
+class TestRetry:
+    def test_policy_backoff_deterministic(self):
+        policy = RetryPolicy(retries=3, backoff=0.1, max_backoff=0.3)
+        delays = [policy.delay(a, "token") for a in (1, 2, 3, 4)]
+        assert delays == [policy.delay(a, "token") for a in (1, 2, 3, 4)]
+        # exponential base growth capped at max_backoff; jitter < 100%
+        assert delays[0] < delays[1]  # 0.1*(1+j) < 0.2*(1+j') always
+        assert all(d <= 0.3 * 2.0 for d in delays)
+        assert delays != [policy.delay(a, "other") for a in (1, 2, 3, 4)]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_failure_retried(self, jobs):
+        stats = CampaignStats()
+        results = run_tasks(
+            [FlakyTask(3), EchoTask("x")], jobs=jobs,
+            retry=RetryPolicy(retries=3, backoff=0.001), stats=stats,
+        )
+        assert results == [("ok", 3), "x"]
+        assert stats.retried_tasks == 1
+        assert stats.retry_attempts == 2
+        assert stats.errors == 0
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_retries_exhausted_records_error(self, jobs):
+        collector = TimingCollector()
+        stats = CampaignStats()
+        result, = run_tasks(
+            [FlakyTask(99)], jobs=jobs, retry=1, collect=collector,
+            stats=stats,
+        )
+        assert result is None  # FlakyTask defines no on_error fallback
+        timing = collector.timings[0]
+        assert timing.status == "error"
+        assert timing.attempts == 2
+        assert timing.error is not None
+        assert timing.error["transient"] is True
+        assert "flaky attempt" in timing.error["exc"]
+        assert stats.errors == 1
+
+    def test_worker_death_retried_in_pool(self):
+        stats = CampaignStats()
+        results = run_tasks(
+            [FlakyDieTask(2), EchoTask(5)], jobs=2,
+            retry=RetryPolicy(retries=2, backoff=0.001), stats=stats,
+        )
+        assert results == [("ok", 2), 5]
+        assert stats.retried_tasks == 1
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_permanent_failure_not_retried(self, jobs):
+        collector = TimingCollector()
+        (status, message), = run_tasks(
+            [PermanentCrashTask()], jobs=jobs, retry=5, collect=collector,
+        )
+        assert status == "failed"
+        assert "ValueError" in message
+        timing = collector.timings[0]
+        assert timing.attempts == 1
+        assert timing.error["transient"] is False
+
+    def test_attempts_flow_into_bench_artifact(self, tmp_path):
+        collector = TimingCollector()
+        run_tasks(
+            [FlakyTask(2), EchoTask(1)], jobs=1, retry=2, collect=collector,
+        )
+        data = write_bench(
+            tmp_path / "bench.json", "t", collector, jobs=1, quick=True,
+            total_wall_s=0.1,
+        )
+        entries = data["experiments"]["t"]["tasks"]
+        assert entries[0]["attempts"] == 2
+        assert entries[1]["attempts"] == 1
 
 
 class TestTimingArtifact:

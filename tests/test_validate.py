@@ -142,3 +142,110 @@ class TestValidateCandidate:
         assert report.extra["backend"] == "shift"
         assert report.sigfigs == 10
         assert isinstance(report, ValidationReport)
+
+
+class TestGracefulDegradation:
+    """Forced backend/validator failures must degrade visibly, never
+    silently (ValidatorResult.extra carries the provenance)."""
+
+    def _break_modular(self, monkeypatch):
+        from repro.exact import kernels
+
+        def explode(*_a, **_k):
+            raise RuntimeError("modular kernel corrupted")
+
+        monkeypatch.setattr(
+            kernels, "modular_leading_principal_minors", explode
+        )
+
+    def test_modular_backend_falls_back_to_int(self, monkeypatch):
+        self._break_modular(monkeypatch)
+        matrix = RationalMatrix([[2, 1], [1, 2]])
+        result = run_validator("sylvester", matrix, backend="modular")
+        assert result.valid is True
+        assert result.degraded
+        hops = result.extra["backend_fallbacks"]
+        assert [h["backend"] for h in hops] == ["modular"]
+        assert "modular kernel corrupted" in hops[0]["error"]
+        assert result.extra["backend"] == "int"  # who actually decided
+        assert result.validator == "sylvester"  # no escalation needed
+
+    def test_no_fallback_propagates_backend_error(self, monkeypatch):
+        self._break_modular(monkeypatch)
+        matrix = RationalMatrix([[2, 1], [1, 2]])
+        with pytest.raises(RuntimeError, match="modular kernel corrupted"):
+            run_validator(
+                "sylvester", matrix, backend="modular", fallback=False
+            )
+
+    def _break_sylvester(self, monkeypatch):
+        from repro.exact import definiteness
+
+        def explode(_matrix):
+            raise RuntimeError("sylvester imploded")
+
+        # First call inside every exact check: breaks all its backends.
+        monkeypatch.setattr(definiteness, "_require_symmetric", explode)
+
+    def test_validator_escalates_to_sympy(self, monkeypatch):
+        self._break_sylvester(monkeypatch)
+        matrix = RationalMatrix([[2, 1], [1, 2]])
+        result = run_validator("sylvester", matrix)
+        assert result.valid is True
+        assert result.validator == "sympy"  # the verdict's true author
+        assert result.extra["escalated_from"] == "sylvester"
+        assert "sylvester imploded" in result.extra["escalation_error"]
+        assert result.degraded
+
+    def test_escalation_opt_out(self, monkeypatch):
+        self._break_sylvester(monkeypatch)
+        with pytest.raises(RuntimeError, match="sylvester imploded"):
+            run_validator(
+                "sylvester", RationalMatrix([[2, 1], [1, 2]]),
+                fallback=False,
+            )
+
+    def test_clean_run_has_no_provenance_keys(self):
+        result = run_validator("sylvester", RationalMatrix([[2, 1], [1, 2]]))
+        assert not result.degraded
+        assert "backend_fallbacks" not in result.extra
+        assert "escalated_from" not in result.extra
+
+    def test_report_aggregates_degradations(self, monkeypatch):
+        self._break_sylvester(monkeypatch)
+        a = stable_matrix(3, seed=2)
+        candidate = synthesize("eq-num", a)
+        report = validate_candidate(candidate, a)
+        assert report.valid is True  # verdict survived the degradation
+        stages = {d["stage"] for d in report.degraded}
+        kinds = {d["kind"] for d in report.degraded}
+        assert stages == {"positivity", "decrease"}
+        assert kinds == {"validator"}
+        assert all(d["failed"] == "sylvester" for d in report.degraded)
+        assert all(d["used"] == "sympy" for d in report.degraded)
+
+    def test_report_no_fallback_raises(self, monkeypatch):
+        self._break_sylvester(monkeypatch)
+        a = stable_matrix(3, seed=2)
+        candidate = synthesize("eq-num", a)
+        with pytest.raises(RuntimeError, match="sylvester imploded"):
+            validate_candidate(candidate, a, fallback=False)
+
+    def test_degradation_reaches_record_and_timing(self, monkeypatch):
+        """End-to-end: a degraded validation shows up on the Table I
+        record and in the timing artifact's detail."""
+        self._break_sylvester(monkeypatch)
+        from repro.runner import Table1Task, TimingCollector, run_tasks
+
+        collector = TimingCollector()
+        task = Table1Task(
+            case_name="size3", size=3, mode=0, method="eq-num", backend=None,
+            eq_smt_deadline=5.0, validator="sylvester", sigfigs=10,
+            keep_candidate=False,
+        )
+        (record, _), = run_tasks([task], jobs=1, collect=collector)
+        assert record.valid is True
+        assert record.degraded, "degradation must be recorded on the row"
+        assert all(d["used"] == "sympy" for d in record.degraded)
+        detail = collector.entries()[0]
+        assert detail["degraded"] == record.degraded
