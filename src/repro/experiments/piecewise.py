@@ -25,6 +25,8 @@ def run_piecewise(
     max_iterations: int = 20_000,
     max_boxes: int = 6_000,
     conditions_scope: str = "surface",
+    solver: str = "hybrid",
+    oracle_batch: bool = True,
     jobs: int | None = 1,
     task_deadline: float | None = None,
     timing=None,
@@ -32,6 +34,14 @@ def run_piecewise(
     retry=None,
     stats=None,
 ) -> list[PiecewiseRecord]:
+    """Run the synthesis+validation grid.
+
+    ``solver`` picks the synthesis pipeline per task (``"hybrid"`` =
+    tensorized ellipsoid burn-in + warm-started barrier polish,
+    ``"ellipsoid"`` = certifying deep-cut method alone, ``"barrier"`` =
+    level-shift candidate finder); ``oracle_batch=False`` falls back to
+    the per-block differential separation oracle.
+    """
     from ..runner import PiecewiseTask, run_tasks
 
     tasks = [
@@ -39,6 +49,7 @@ def run_piecewise(
             case_name=name, size=case_by_name(name).size, encoding=encoding,
             max_iterations=max_iterations, max_boxes=max_boxes,
             conditions_scope=conditions_scope,
+            solver=solver, oracle_batch=oracle_batch,
         )
         for name in case_names
         for encoding in encodings
@@ -51,7 +62,7 @@ def run_piecewise(
 
 def render_piecewise(records: list[PiecewiseRecord]) -> str:
     headers = [
-        "case", "encoding", "candidate", "LMI verdict",
+        "case", "encoding", "solver", "candidate", "LMI verdict",
         "synth (s)", "validation", "failed conditions",
     ]
     rows = []
@@ -66,6 +77,7 @@ def render_piecewise(records: list[PiecewiseRecord]) -> str:
             [
                 r.case,
                 r.encoding,
+                r.solver,
                 "best iterate",
                 verdict,
                 f"{r.synth_time:.3g}",

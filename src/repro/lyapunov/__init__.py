@@ -13,7 +13,7 @@ from .equation import (
     solve_lyapunov_numeric,
 )
 from .modal import modal_lyapunov
-from .piecewise import ENCODINGS, PiecewiseCandidate, synthesize_piecewise
+from .piecewise import ENCODINGS, SOLVERS, PiecewiseCandidate, synthesize_piecewise
 from .quadratic import LyapunovCandidate
 from .settling import SettlingBound, settling_bound, verify_decay_rate_exact
 from .synthesis import DEFAULT_NU, LMI_METHODS, METHODS, default_alpha, synthesize
@@ -32,6 +32,7 @@ __all__ = [
     "PiecewiseCandidate",
     "synthesize_piecewise",
     "ENCODINGS",
+    "SOLVERS",
     "CommonLyapunovResult",
     "synthesize_common",
     "solve_stein_numeric",

@@ -13,11 +13,19 @@ cf. Oehlerking Thm. 3.10) with two switching-surface encodings:
 * ``relaxed``    — independent ``P_0, P_1`` with Finsler-multiplier
   non-increase constraints across the surface in both directions.
 
-The LMI system is solved with the deep-cut ellipsoid method; like the
-numerical solvers in the paper, :func:`synthesize_piecewise` returns its
-best iterate as a *candidate* even when convergence is not certified.
-Exact validation of the surface condition then fails on rounded
-candidates — the negative result the paper reports.
+The LMI system is compiled once into stacked coefficient tensors
+(:class:`repro.sdp.CompiledLmiSystem`) and solved by a configurable
+pipeline: the certifying deep-cut ellipsoid method
+(``solver="ellipsoid"``), the level-shift barrier
+(``solver="barrier"``), or the default two-stage *hybrid* — an
+ellipsoid burn-in (which keeps the power to *prove* infeasibility)
+whose best iterate warm-starts a Newton barrier polish via
+``initial=``, mirroring :func:`repro.sdp.solve_ipm`'s warm-start
+machinery. Like the numerical solvers in the paper,
+:func:`synthesize_piecewise` returns its best iterate as a *candidate*
+even when convergence is not certified. Exact validation of the
+surface condition then fails on rounded candidates — the negative
+result the paper reports.
 """
 
 from __future__ import annotations
@@ -27,12 +35,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..sdp import LmiBlock, solve_lmi_barrier, solve_lmi_ellipsoid, svec_basis
+from ..sdp import (
+    CompiledLmiSystem,
+    LmiBlock,
+    solve_lmi_barrier,
+    solve_lmi_ellipsoid,
+    svec_basis,
+)
 from ..systems import PwaSystem
 
-__all__ = ["PiecewiseCandidate", "synthesize_piecewise"]
+__all__ = ["PiecewiseCandidate", "synthesize_piecewise", "SOLVERS"]
 
 ENCODINGS = ("continuous", "relaxed")
+SOLVERS = ("hybrid", "ellipsoid", "barrier")
 
 
 @dataclass
@@ -98,7 +113,11 @@ def synthesize_piecewise(
     max_iterations: int = 60_000,
     initial_radius: float = 50.0,
     tolerance: float = 1e-6,
-    solver: str = "ellipsoid",
+    solver: str = "hybrid",
+    oracle_batch: bool = True,
+    sweep_every: int | None = 16,
+    burn_in: int | None = None,
+    polish_outer: int = 60,
 ) -> PiecewiseCandidate:
     """Set up and run the S-procedure LMI system for the switched loop.
 
@@ -109,13 +128,29 @@ def synthesize_piecewise(
     accept a tolerance-feasible iterate — which exact validation then
     rejects (the paper's Section VI-B.2 observation).
 
-    ``solver`` selects the engine: ``"ellipsoid"`` (slow, *proves*
-    infeasibility when the system is empty) or ``"barrier"`` (fast
-    level-shift candidate finder; negative best margin is evidence,
-    not proof, of infeasibility).
+    ``solver`` selects the engine:
+
+    * ``"hybrid"`` (default) — ellipsoid burn-in (up to ``burn_in``
+      iterations, default the full ``max_iterations`` budget, exiting
+      early on feasibility or an infeasibility proof) followed by a
+      warm-started barrier Newton polish of the best iterate
+      (``polish_outer`` level-shift rounds). Keeps the ellipsoid's
+      power to *prove* emptiness while the polish maximizes the
+      candidate's joint margin;
+    * ``"ellipsoid"`` — the certifying deep-cut method alone;
+    * ``"barrier"`` — the level-shift candidate finder alone (negative
+      best margin is evidence, not proof, of infeasibility).
+
+    ``oracle_batch`` toggles the tensorized batched separation oracle
+    (``False`` = the original per-block differential oracle), and
+    ``sweep_every`` its active-set mode (full violation sweep every K
+    iterations; ``None`` = every iteration). Phase wall times are
+    reported in ``info["phases"]`` as ``compile_s`` (block construction
+    + tensor compilation), ``oracle_s`` (ellipsoid) and ``polish_s``
+    (barrier).
     """
-    if solver not in ("ellipsoid", "barrier"):
-        raise ValueError('solver must be "ellipsoid" or "barrier"')
+    if solver not in SOLVERS:
+        raise ValueError(f"solver must be one of {SOLVERS}")
     if encoding not in ENCODINGS:
         raise ValueError(f"encoding must be one of {ENCODINGS}")
     if system.n_modes != 2:
@@ -235,28 +270,67 @@ def synthesize_piecewise(
         coeffs = p_coefficients(mode, sign=-1.0)
         blocks.append(LmiBlock(cap, coeffs, name=f"cap{mode}"))
 
+    compiled = CompiledLmiSystem(blocks, dim)
+    phases = {
+        "compile_s": time.perf_counter() - start,  # blocks + tensors
+        "oracle_s": 0.0,
+        "polish_s": 0.0,
+    }
+
     # Like the paper's numerical solvers, keep the best iterate as a
     # *candidate* even when the LMI system is (provably) infeasible.
-    if solver == "ellipsoid":
+    polish_iterations = 0
+    if solver in ("ellipsoid", "hybrid"):
+        budget = max_iterations
+        if solver == "hybrid" and burn_in is not None:
+            budget = min(burn_in, max_iterations)
+        phase_started = time.perf_counter()
         result = solve_lmi_ellipsoid(
             blocks,
             dimension=dim,
             initial_radius=initial_radius,
-            max_iterations=max_iterations,
+            max_iterations=budget,
             raise_on_infeasible=False,
+            batch_oracle=oracle_batch,
+            sweep_every=sweep_every if oracle_batch else None,
+            compiled=compiled if oracle_batch else None,
         )
+        phases["oracle_s"] = time.perf_counter() - phase_started
         x = result.x
         feasible = result.feasible
         iterations = result.iterations
         worst = result.worst_violation
         proved_infeasible = result.proved_infeasible
+        if solver == "hybrid" and not proved_infeasible:
+            # Polish phase: warm-start the barrier's Newton centering
+            # from the burn-in iterate and keep whichever iterate has
+            # the better joint margin (t_star = -worst violation).
+            phase_started = time.perf_counter()
+            polish = solve_lmi_barrier(
+                blocks,
+                dimension=dim,
+                radius=initial_radius,
+                target_margin=0.0,
+                max_outer=polish_outer,
+                initial=x,
+                compiled=compiled,
+            )
+            phases["polish_s"] = time.perf_counter() - phase_started
+            polish_iterations = polish.iterations
+            if -polish.t_star <= worst:
+                x = polish.x
+                worst = -polish.t_star
+                feasible = feasible or polish.feasible
     else:
+        phase_started = time.perf_counter()
         barrier = solve_lmi_barrier(
             blocks,
             dimension=dim,
             radius=initial_radius,
             target_margin=0.0,
+            compiled=compiled,
         )
+        phases["polish_s"] = time.perf_counter() - phase_started
         x = barrier.x
         feasible = barrier.feasible
         iterations = barrier.iterations
@@ -290,5 +364,9 @@ def synthesize_piecewise(
             "epsilon": epsilon,
             "proved_infeasible": proved_infeasible,
             "solver": solver,
+            "oracle_batch": oracle_batch,
+            "sweep_every": sweep_every,
+            "polish_iterations": polish_iterations,
+            "phases": phases,
         },
     )

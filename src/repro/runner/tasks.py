@@ -398,13 +398,16 @@ class PiecewiseTask(Task):
     """One piecewise synthesis+validation attempt (Sec. VI-B.2)."""
 
     def __init__(self, case_name, size, encoding, max_iterations,
-                 max_boxes, conditions_scope):
+                 max_boxes, conditions_scope, solver="hybrid",
+                 oracle_batch=True):
         self.case_name = case_name
         self.size = size
         self.encoding = encoding
         self.max_iterations = max_iterations
         self.max_boxes = max_boxes
         self.conditions_scope = conditions_scope
+        self.solver = solver
+        self.oracle_batch = oracle_batch
 
     def key(self):
         return {"case": self.case_name, "encoding": self.encoding}
@@ -415,6 +418,8 @@ class PiecewiseTask(Task):
         candidate = synthesize_piecewise(
             system, encoding=self.encoding,
             max_iterations=self.max_iterations,
+            solver=self.solver,
+            oracle_batch=self.oracle_batch,
         )
         report = validate_piecewise(
             candidate,
@@ -433,6 +438,8 @@ class PiecewiseTask(Task):
             validation_valid=report.valid,
             failed_conditions=report.failed_conditions,
             validation_time=report.time,
+            solver=self.solver,
+            phases=dict(candidate.info.get("phases", {})),
         )
 
     def _aborted(self, reason, elapsed):
@@ -441,6 +448,7 @@ class PiecewiseTask(Task):
             lmi_feasible=False, proved_infeasible=False, iterations=0,
             synth_time=elapsed, validation_valid=None,
             failed_conditions=[reason], validation_time=0.0,
+            solver=self.solver,
         )
 
     def on_timeout(self, elapsed):
@@ -450,7 +458,12 @@ class PiecewiseTask(Task):
         return self._aborted("task error", 0.0)
 
     def timing_detail(self, result):
-        return {
+        detail = {
             "synth_s": result.synth_time,
             "validate_s": result.validation_time,
         }
+        # Per-phase synthesis timings (compile_s/oracle_s/polish_s) flow
+        # into the timing artifact and journal records alongside the
+        # aggregate synth_s.
+        detail.update(result.phases)
+        return detail

@@ -9,13 +9,22 @@ level-shift barrier) for the piecewise-quadratic S-procedure problems.
 """
 
 from .barrier import BarrierResult, solve_lmi_barrier
-from .generic import EllipsoidResult, LmiBlock, solve_lmi_ellipsoid
+from .generic import (
+    CompiledLmiSystem,
+    EllipsoidResult,
+    LmiBlock,
+    solve_lmi_ellipsoid,
+)
 from .ipm import solve_ipm
-from .problems import LmiInfeasibleError, LyapunovLmiProblem
+from .problems import (
+    LmiInfeasibleError,
+    LyapunovLmiProblem,
+    lyap_basis_tensor,
+)
 from .proj import solve_proj
 from .shift import solve_shift
 from .solve import BACKENDS, LmiSolution, best_alpha, solve_lyapunov_lmi
-from .svec import basis_matrix, smat, svec, svec_basis, svec_dim
+from .svec import basis_matrix, basis_tensor, smat, svec, svec_basis, svec_dim
 
 __all__ = [
     "LyapunovLmiProblem",
@@ -28,13 +37,16 @@ __all__ = [
     "solve_shift",
     "solve_proj",
     "LmiBlock",
+    "CompiledLmiSystem",
     "EllipsoidResult",
     "solve_lmi_ellipsoid",
     "BarrierResult",
     "solve_lmi_barrier",
+    "lyap_basis_tensor",
     "svec",
     "smat",
     "svec_dim",
     "svec_basis",
     "basis_matrix",
+    "basis_tensor",
 ]

@@ -17,6 +17,16 @@ centering is a proper, smooth convex problem (the box keeps it
 bounded), ``t`` is monotone nondecreasing, and the iteration converges
 linearly to the maximal margin within the box.
 
+The Newton assembly runs on the precompiled tensors of
+:class:`repro.sdp.generic.CompiledLmiSystem`: per block group, the
+gradient is one trace einsum and the Hessian one congruence einsum over
+the stacked ``(B, d, n, n)`` coefficient tensor, replacing the former
+per-coefficient Python loops. ``initial=`` warm-starts the centering
+from an external iterate — the hybrid pipeline in
+:func:`repro.lyapunov.synthesize_piecewise` hands the ellipsoid
+burn-in's best iterate here for polishing, mirroring the ``initial=``
+warm-start machinery of :func:`repro.sdp.solve_ipm`.
+
 Roles of the two generic engines (they solve the same systems):
 
 * ``solve_lmi_barrier`` — *fast candidate finder*; a negative final
@@ -31,7 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .generic import LmiBlock
+from .generic import CompiledLmiSystem, LmiBlock
 
 __all__ = ["BarrierResult", "solve_lmi_barrier"]
 
@@ -47,11 +57,14 @@ class BarrierResult:
     history: list = field(default_factory=list)
 
 
-def _joint_margin(blocks: list[LmiBlock], x: np.ndarray) -> float:
-    return min(
-        float(np.linalg.eigvalsh(block.evaluate(x))[0]) - block.margin
-        for block in blocks
-    )
+def _joint_margin(system: CompiledLmiSystem, x: np.ndarray) -> float:
+    """``min_j (lambda_min(F_j(x)) - margin_j)`` via batched eigh."""
+    worst = np.inf
+    for group in system.groups:
+        values = system._group_values(group, x, None)
+        lambda_min, _ = system._group_min_eigen(group, values)
+        worst = min(worst, float((lambda_min - group.margins).min()))
+    return worst
 
 
 def solve_lmi_barrier(
@@ -65,12 +78,17 @@ def solve_lmi_barrier(
     max_newton: int = 30,
     newton_tol: float = 1e-10,
     record_history: bool = False,
+    initial: np.ndarray | None = None,
+    compiled: CompiledLmiSystem | None = None,
 ) -> BarrierResult:
     """Maximize the joint LMI margin within ``|x_i| <= radius``.
 
     ``pull`` in (0, 1) sets how aggressively the shift chases the
     incumbent margin each round; the loop stops at ``target_margin``,
-    on stall, or after ``max_outer`` rounds.
+    on stall, or after ``max_outer`` rounds. ``initial`` warm-starts the
+    centering from an external iterate (clipped into the box);
+    ``compiled`` reuses an existing :class:`CompiledLmiSystem` instead
+    of compiling ``blocks`` again.
     """
     if dimension < 1:
         raise ValueError("dimension must be positive")
@@ -82,31 +100,41 @@ def solve_lmi_barrier(
                 f"block {block.name!r} has {len(block.coefficients)} "
                 f"coefficients, expected {dimension}"
             )
-    # Margin folded into F0 once: work with G_j(x) = F_j(x) - margin_j I.
-    shifted = [
-        LmiBlock(
-            block.f0 - block.margin * np.eye(block.f0.shape[0]),
-            block.coefficients,
-            name=block.name,
-        )
-        for block in blocks
-    ]
+    system = compiled if compiled is not None else CompiledLmiSystem(
+        blocks, dimension
+    )
+    # Margins are folded at evaluation time: every shifted block is
+    # G_j(x) = F_j(x) - (margin_j + t) I.
+
+    def shifted_values(x_vec: np.ndarray, t_val: float) -> list[np.ndarray]:
+        out = []
+        for group in system.groups:
+            values = system._group_values(group, x_vec, None)
+            shift = group.margins + t_val
+            out.append(values - shift[:, None, None] * group.eye)
+        return out
 
     def centered_potential(x_vec: np.ndarray, t_val: float) -> float:
         total = 0.0
-        for block in shifted:
-            g = block.evaluate(x_vec) - t_val * np.eye(block.f0.shape[0])
-            sign, logdet = np.linalg.slogdet(g)
-            if sign <= 0:
+        for shifted in shifted_values(x_vec, t_val):
+            signs, logdets = np.linalg.slogdet(shifted)
+            if np.any(signs <= 0):
                 return np.inf
-            total -= logdet
+            total -= float(logdets.sum())
         box = radius * radius - x_vec * x_vec
         if np.any(box <= 0):
             return np.inf
         return total - float(np.sum(np.log(box)))
 
     x = np.zeros(dimension)
-    margin = _joint_margin(shifted, x)
+    if initial is not None:
+        x = np.asarray(initial, dtype=float).copy()
+        if x.shape != (dimension,):
+            raise ValueError(
+                f"initial iterate has shape {x.shape}, expected ({dimension},)"
+            )
+        np.clip(x, -0.999 * radius, 0.999 * radius, out=x)
+    margin = _joint_margin(system, x)
     t = margin - 1.0
     best_margin = margin
     best_x = x.copy()
@@ -118,15 +146,19 @@ def solve_lmi_barrier(
             iterations += 1
             gradient = np.zeros(dimension)
             hessian = np.zeros((dimension, dimension))
-            for block in shifted:
-                size = block.f0.shape[0]
-                g = block.evaluate(x) - t * np.eye(size)
-                g_inv = np.linalg.inv(g)
-                transformed = [g_inv @ c for c in block.coefficients]
-                gradient -= np.array([np.trace(m) for m in transformed])
-                flat = np.array([m.flatten() for m in transformed])
-                flat_t = np.array([m.T.flatten() for m in transformed])
-                hessian += flat @ flat_t.T
+            for group, shifted in zip(
+                system.groups, shifted_values(x, t)
+            ):
+                g_inv = np.linalg.inv(shifted)
+                # T[b, i] = G_b(x)^{-1} F_bi : the per-block transformed
+                # coefficients, batched over the group.
+                transformed = np.einsum(
+                    "bac,bicm->biam", g_inv, group.tensor, optimize=True
+                )
+                gradient -= np.einsum("biaa->i", transformed)
+                hessian += np.einsum(
+                    "biam,bjma->ij", transformed, transformed, optimize=True
+                )
             box = radius * radius - x * x
             gradient += 2.0 * x / box
             hessian += np.diag(2.0 / box + 4.0 * x * x / box**2)
@@ -152,7 +184,7 @@ def solve_lmi_barrier(
             if not accepted:
                 break
         # --- pull the shift up toward the achieved margin ---------------
-        margin = _joint_margin(shifted, x)
+        margin = _joint_margin(system, x)
         if margin > best_margin:
             best_margin = margin
             best_x = x.copy()

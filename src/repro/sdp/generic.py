@@ -15,6 +15,18 @@ The ellipsoid method needs only a separation oracle: at an infeasible
 deep cut. Convergence is geometric in volume — slow but extremely
 robust, matching the role this solver plays (candidates for a problem
 the paper reports as numerically delicate).
+
+The oracle has two implementations:
+
+* the *tensorized* one (default): every block is compiled once into a
+  stacked ``(d, n, n)`` coefficient tensor (:class:`CompiledLmiSystem`),
+  same-sized blocks are batched, and one iteration is a handful of
+  einsum / batched-``eigh`` calls. A Cholesky screen skips the
+  eigendecomposition of block groups that are already feasible, and an
+  optional *active-set* mode (``sweep_every=K``) re-checks only the
+  recently violated blocks between full sweeps;
+* the original per-block Python loop (``batch_oracle=False``), kept as
+  the differential oracle the property suite compares against.
 """
 
 from __future__ import annotations
@@ -25,7 +37,12 @@ import numpy as np
 
 from .problems import LmiInfeasibleError
 
-__all__ = ["LmiBlock", "EllipsoidResult", "solve_lmi_ellipsoid"]
+__all__ = [
+    "LmiBlock",
+    "CompiledLmiSystem",
+    "EllipsoidResult",
+    "solve_lmi_ellipsoid",
+]
 
 
 @dataclass
@@ -61,6 +78,182 @@ class LmiBlock:
 
 
 @dataclass
+class _BlockGroup:
+    """Same-sized blocks stacked for batched evaluation."""
+
+    size: int
+    indices: np.ndarray  # original block indices, shape (B,)
+    f0: np.ndarray  # (B, n, n)
+    tensor: np.ndarray  # (B, d, n, n)
+    margins: np.ndarray  # (B,)
+    eye: np.ndarray  # (n, n), shared identity
+
+
+class CompiledLmiSystem:
+    """An LMI block system precompiled into stacked coefficient tensors.
+
+    Each block's coefficient list becomes one ``(d, n, n)`` tensor, and
+    blocks of identical matrix size are grouped so the separation oracle
+    evaluates them with a single ``tensordot`` and (when needed) one
+    batched ``eigh`` per group instead of a Python loop per block.
+    """
+
+    def __init__(self, blocks: list[LmiBlock], dimension: int):
+        if not blocks:
+            raise ValueError(
+                "cannot compile an empty LMI system: at least one "
+                "LmiBlock is required"
+            )
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        for block in blocks:
+            if len(block.coefficients) != dimension:
+                raise ValueError(
+                    f"block {block.name!r} has {len(block.coefficients)} "
+                    f"coefficients, expected {dimension}"
+                )
+        self.blocks = list(blocks)
+        self.dimension = int(dimension)
+        by_size: dict[int, list[int]] = {}
+        for index, block in enumerate(blocks):
+            by_size.setdefault(block.f0.shape[0], []).append(index)
+        self.groups: list[_BlockGroup] = []
+        #: block index -> (group position in self.groups, row within group)
+        self._where = np.empty((len(blocks), 2), dtype=int)
+        for position, (size, indices) in enumerate(sorted(by_size.items())):
+            self.groups.append(
+                _BlockGroup(
+                    size=size,
+                    indices=np.asarray(indices, dtype=int),
+                    f0=np.stack([blocks[i].f0 for i in indices]),
+                    tensor=np.stack(
+                        [np.stack(blocks[i].coefficients) for i in indices]
+                    ),
+                    margins=np.array(
+                        [blocks[i].margin for i in indices], dtype=float
+                    ),
+                    eye=np.eye(size),
+                )
+            )
+            for row, index in enumerate(indices):
+                self._where[index] = (position, row)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    # ------------------------------------------------------------------
+    def _group_values(
+        self, group: _BlockGroup, x: np.ndarray, rows: np.ndarray | None
+    ) -> np.ndarray:
+        """``F_j(x)`` for the (selected rows of the) group, shape (B, n, n)."""
+        f0 = group.f0 if rows is None else group.f0[rows]
+        tensor = group.tensor if rows is None else group.tensor[rows]
+        return f0 + np.tensordot(x, tensor, axes=([0], [1]))
+
+    @staticmethod
+    def _group_min_eigen(
+        group: _BlockGroup, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched ``(lambda_min, eigenvector)`` per stacked matrix."""
+        if group.size == 1:
+            return values[:, 0, 0], np.ones((values.shape[0], 1))
+        eigenvalues, vectors = np.linalg.eigh(values)
+        return eigenvalues[:, 0], vectors[:, :, 0]
+
+    def evaluate(self, index: int, x: np.ndarray) -> np.ndarray:
+        """``F_j(x)`` of one block via its compiled tensor (``f0 + x·F``)."""
+        position, row = self._where[index]
+        group = self.groups[position]
+        return group.f0[row] + np.tensordot(
+            x, group.tensor[row], axes=([0], [0])
+        )
+
+    def violations(self, x: np.ndarray) -> np.ndarray:
+        """All block violations ``margin - lambda_min`` in block order."""
+        out = np.empty(self.n_blocks)
+        for group in self.groups:
+            values = self._group_values(group, x, None)
+            lambda_min, _ = self._group_min_eigen(group, values)
+            out[group.indices] = group.margins - lambda_min
+        return out
+
+    def gradient(self, index: int, vector: np.ndarray) -> np.ndarray:
+        """Deep-cut gradient ``g_i = -v^T F_ji v`` for block ``index``."""
+        position, row = self._where[index]
+        tensor = self.groups[position].tensor[row]
+        return -np.einsum("inm,n,m->i", tensor, vector, vector)
+
+    def oracle(
+        self, x: np.ndarray, active: np.ndarray | None = None
+    ) -> tuple[float, np.ndarray, int, np.ndarray]:
+        """Most-violated block over the (active subset of) blocks.
+
+        Returns ``(worst, eigenvector, block_index, violations)`` where
+        ``violations`` holds ``margin - lambda_min`` per block in
+        original order (``-inf`` for blocks that were skipped: inactive
+        ones, and — only when some *other* block is violated — blocks
+        whose group passed the Cholesky feasibility screen, so their
+        exact eigenvalues were never needed).
+
+        A group whose shifted stack ``F_j(x) - margin_j I`` admits a
+        batched Cholesky factorization is feasible throughout, so its
+        eigendecomposition is skipped entirely; when every group passes
+        (the converged case) one exact eigen pass confirms feasibility
+        and reports the true worst violation.
+        """
+        violations = np.full(self.n_blocks, -np.inf)
+        vectors: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        screened: list[tuple[int, np.ndarray | None, np.ndarray]] = []
+        for position, group in enumerate(self.groups):
+            rows: np.ndarray | None = None
+            if active is not None:
+                mask = active[group.indices]
+                if not mask.any():
+                    continue
+                rows = np.nonzero(mask)[0]
+            values = self._group_values(group, x, rows)
+            margins = group.margins if rows is None else group.margins[rows]
+            shifted = values - margins[:, None, None] * group.eye
+            try:
+                np.linalg.cholesky(shifted)
+            except np.linalg.LinAlgError:
+                pass
+            else:  # whole group strictly feasible: skip its eigh for now
+                screened.append((position, rows, values))
+                continue
+            lambda_min, group_vectors = self._group_min_eigen(group, values)
+            indices = (
+                group.indices if rows is None else group.indices[rows]
+            )
+            violations[indices] = margins - lambda_min
+            vectors[position] = (indices, group_vectors)
+        if not vectors or violations.max() <= 0.0:
+            # Nothing violated among the eigendecomposed groups: resolve
+            # the screened groups exactly so the reported worst (and the
+            # feasibility verdict) matches the per-block oracle.
+            for position, rows, values in screened:
+                group = self.groups[position]
+                lambda_min, group_vectors = self._group_min_eigen(
+                    group, values
+                )
+                margins = (
+                    group.margins if rows is None else group.margins[rows]
+                )
+                indices = (
+                    group.indices if rows is None else group.indices[rows]
+                )
+                violations[indices] = margins - lambda_min
+                vectors[position] = (indices, group_vectors)
+        worst_index = int(np.argmax(violations))
+        worst = float(violations[worst_index])
+        position = int(self._where[worst_index][0])
+        indices, group_vectors = vectors[position]
+        vector = group_vectors[int(np.nonzero(indices == worst_index)[0][0])]
+        return worst, vector, worst_index, violations
+
+
+@dataclass
 class EllipsoidResult:
     """Outcome of an ellipsoid-method run (best iterate + flags)."""
     x: np.ndarray
@@ -78,8 +271,22 @@ def solve_lmi_ellipsoid(
     max_iterations: int = 50_000,
     record_history: bool = False,
     raise_on_infeasible: bool = True,
+    batch_oracle: bool = True,
+    sweep_every: int | None = None,
+    compiled: CompiledLmiSystem | None = None,
 ) -> EllipsoidResult:
     """Run the deep-cut ellipsoid method until feasibility or collapse.
+
+    ``batch_oracle`` selects the tensorized separation oracle (compiled
+    coefficient tensors, batched ``eigh``, Cholesky feasibility screen);
+    ``False`` runs the original per-block Python loop, kept as the
+    differential oracle. ``sweep_every=K`` (tensorized oracle only)
+    enables active-set mode: between full sweeps, only the blocks that
+    were violated at the last full sweep are re-checked, with a full
+    sweep forced every ``K`` iterations and before any feasibility or
+    best-iterate claim. ``compiled`` reuses an existing
+    :class:`CompiledLmiSystem` (e.g. shared with the barrier polisher)
+    instead of compiling ``blocks`` again.
 
     Raises :class:`LmiInfeasibleError` when the ellipsoid volume shrinks
     below the point where any feasible set of nontrivial volume would
@@ -87,35 +294,76 @@ def solve_lmi_ellipsoid(
     """
     if dimension < 1:
         raise ValueError("dimension must be positive")
+    if not blocks:
+        raise ValueError(
+            "solve_lmi_ellipsoid needs at least one LmiBlock "
+            "(got an empty block list)"
+        )
     for block in blocks:
         if len(block.coefficients) != dimension:
             raise ValueError(
                 f"block {block.name!r} has {len(block.coefficients)} "
                 f"coefficients, expected {dimension}"
             )
+    system: CompiledLmiSystem | None = None
+    if batch_oracle:
+        system = compiled if compiled is not None else CompiledLmiSystem(
+            blocks, dimension
+        )
     x = np.zeros(dimension)
     shape = (initial_radius**2) * np.eye(dimension)  # ellipsoid matrix
     history: list[float] = []
     best_x = x.copy()
     best_violation = np.inf
     d = float(dimension)
+    active: np.ndarray | None = None
+    since_sweep = 0
     for iteration in range(1, max_iterations + 1):
-        worst, gradient_vector, worst_block = _most_violated(blocks, x)
+        if system is not None:
+            full_sweep = (
+                sweep_every is None
+                or active is None
+                or since_sweep >= sweep_every
+            )
+            worst, gradient_vector, worst_index, violations = system.oracle(
+                x, active=None if full_sweep else active
+            )
+            if not full_sweep and worst <= 0.0:
+                # The active subset is satisfied; confirm on everything.
+                full_sweep = True
+                worst, gradient_vector, worst_index, violations = (
+                    system.oracle(x)
+                )
+            if full_sweep:
+                since_sweep = 0
+                if sweep_every is not None:
+                    active = violations > 0.0
+                    active[worst_index] = True
+            else:
+                since_sweep += 1
+        else:
+            full_sweep = True
+            worst, gradient_vector, worst_block = _most_violated(blocks, x)
         if record_history:
             history.append(worst)
-        if worst < best_violation:
+        # Partial (active-set) sweeps underestimate the true violation,
+        # so the best-iterate bookkeeping only trusts full sweeps.
+        if full_sweep and worst < best_violation:
             best_violation = worst
             best_x = x.copy()
         if worst <= 0.0:
             return EllipsoidResult(x, True, iteration, worst, history)
         # Deep cut: g^T (y - x) + violation <= 0 for all feasible y,
         # where g_i = -v^T F_ji v.
-        g = np.array(
-            [
-                -gradient_vector @ coefficient @ gradient_vector
-                for coefficient in worst_block.coefficients
-            ]
-        )
+        if system is not None:
+            g = system.gradient(worst_index, gradient_vector)
+        else:
+            g = np.array(
+                [
+                    -gradient_vector @ coefficient @ gradient_vector
+                    for coefficient in worst_block.coefficients
+                ]
+            )
         g_norm_sq = float(g @ shape @ g)
         if g_norm_sq <= 0 or not np.isfinite(g_norm_sq):
             break
@@ -158,6 +406,11 @@ def solve_lmi_ellipsoid(
 def _most_violated(
     blocks: list[LmiBlock], x: np.ndarray
 ) -> tuple[float, np.ndarray, LmiBlock]:
+    if not blocks:
+        raise ValueError(
+            "separation oracle called with an empty block list: an LMI "
+            "system needs at least one LmiBlock"
+        )
     worst = -np.inf
     worst_vector = None
     worst_block = None

@@ -9,22 +9,24 @@ by damped Newton minimization of the log-det barrier
     phi(P) = -logdet(P - nu_eff I) - logdet(R I - P)
              - logdet(-(A^T P + P A + alpha P) - margin I).
 
-Gradients and Hessians are assembled with Kronecker-product identities
-over the orthonormal svec basis, so each iteration is a dense ``m x m``
-Newton solve with ``m = n(n+1)/2``. The analytic center sits deep inside
-the feasible region, giving well-conditioned candidates — this backend
-plays the CVXOPT role in the paper's tables.
+Gradients and Hessians are assembled over the orthonormal svec basis
+with precompiled tensor contractions: the basis stack ``(m, n, n)`` of
+:func:`repro.sdp.svec.basis_tensor` and the memoized ``L(E_k)`` stack of
+:meth:`LyapunovLmiProblem.lyap_basis_tensor` turn every barrier-block
+Hessian ``H[k,l] = tr(E_k X E_l X)`` into two einsums — no ``n^2 x n^2``
+Kronecker products are ever formed. Each iteration is then a dense
+``m x m`` Newton solve with ``m = n(n+1)/2``. The analytic center sits
+deep inside the feasible region, giving well-conditioned candidates —
+this backend plays the CVXOPT role in the paper's tables.
 """
 
 from __future__ import annotations
-
-from functools import lru_cache
 
 import numpy as np
 
 from .problems import LmiInfeasibleError, LyapunovLmiProblem
 from .shift import solve_shift
-from .svec import basis_matrix, smat
+from .svec import basis_tensor, smat
 
 __all__ = ["solve_ipm"]
 
@@ -36,24 +38,20 @@ def _chol_or_none(matrix: np.ndarray) -> np.ndarray | None:
         return None
 
 
-@lru_cache(maxsize=32)
-def _constraint_cols(a_bytes: bytes, n: int, alpha: float) -> np.ndarray:
-    """``vec(L(E_k))`` columns for the Lyapunov operator, memoized.
+def _barrier_terms(
+    stack: np.ndarray, inverse: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gradient/Hessian of ``-logdet`` through a stacked coefficient basis.
 
-    Repeated solves on the same mode matrix (bisection over ``alpha``
-    rebuilds only per-``alpha`` entries; revalidation sweeps hit the
-    same ``(A, alpha)`` again and again) skip the ``n^2 x n^2``
-    Kronecker assembly entirely.
+    For a stack ``C`` of symmetric coefficient matrices and a symmetric
+    ``X = block^{-1}``: returns ``g[k] = tr(C_k X)`` and
+    ``H[k,l] = tr(C_k X C_l X)`` — the svec-basis contractions that
+    replace ``basis @ kron(X, X) @ basis.T``.
     """
-    a = np.frombuffer(a_bytes, dtype=float).reshape(n, n)
-    basis = basis_matrix(n)  # m x n^2, orthonormal rows
-    lyap_mat = (
-        np.kron(np.eye(n), a.T) + np.kron(a.T, np.eye(n))
-        + alpha * np.eye(n * n)
-    )
-    cols = lyap_mat @ basis.T  # n^2 x m: vec(L(E_k)) columns
-    cols.setflags(write=False)
-    return cols
+    transformed = stack @ inverse  # (m, n, n): C_k X, batched matmul
+    gradient = np.einsum("kaa->k", transformed)
+    hessian = np.einsum("kab,lba->kl", transformed, transformed)
+    return gradient, hessian
 
 
 def solve_ipm(
@@ -82,12 +80,9 @@ def solve_ipm(
         p0, _ = solve_shift(problem)
     radius = max(problem.radius, 10.0 * float(np.linalg.eigvalsh(p0).max()))
 
-    a = problem.a
     eye_n = np.eye(n)
-    basis = basis_matrix(n)  # m x n^2, orthonormal rows
-    constraint_cols = _constraint_cols(
-        np.ascontiguousarray(a, dtype=float).tobytes(), n, float(problem.alpha)
-    )
+    basis = basis_tensor(n)  # (m, n, n) orthonormal basis stack
+    lyap_stack = problem.lyap_basis_tensor()  # (m, n, n): L(E_k), cached
 
     def blocks(p: np.ndarray):
         """The three barrier blocks at ``p``."""
@@ -101,19 +96,11 @@ def solve_ipm(
     decrement = np.inf
     for iterations in range(1, max_iterations + 1):
         t1, t2, s = blocks(p)
-        t1_inv = np.linalg.inv(t1)
-        t2_inv = np.linalg.inv(t2)
-        s_inv = np.linalg.inv(s)
-        gradient = (
-            -basis @ t1_inv.flatten(order="F")
-            + basis @ t2_inv.flatten(order="F")
-            + constraint_cols.T @ s_inv.flatten(order="F")
-        )
-        hessian = (
-            basis @ np.kron(t1_inv, t1_inv) @ basis.T
-            + basis @ np.kron(t2_inv, t2_inv) @ basis.T
-            + constraint_cols.T @ np.kron(s_inv, s_inv) @ constraint_cols
-        )
+        g1, h1 = _barrier_terms(basis, np.linalg.inv(t1))
+        g2, h2 = _barrier_terms(basis, np.linalg.inv(t2))
+        g3, h3 = _barrier_terms(lyap_stack, np.linalg.inv(s))
+        gradient = -g1 + g2 + g3
+        hessian = h1 + h2 + h3
         hessian = 0.5 * (hessian + hessian.T)
         try:
             step = np.linalg.solve(hessian, -gradient)

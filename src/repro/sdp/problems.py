@@ -17,10 +17,40 @@ which is how SDP solvers realize strict LMIs in practice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["LyapunovLmiProblem", "LmiInfeasibleError"]
+__all__ = ["LyapunovLmiProblem", "LmiInfeasibleError", "lyap_basis_tensor"]
+
+
+@lru_cache(maxsize=32)
+def _lyap_basis_tensor(a_bytes: bytes, n: int, alpha: float) -> np.ndarray:
+    """Stacked ``L(E_k) = A^T E_k + E_k A + alpha E_k`` over the svec basis.
+
+    The ``(m, n, n)`` result is the compiled-tensor form of the Lyapunov
+    operator: the interior-point KKT assembly contracts against it with
+    einsums instead of building ``n^2 x n^2`` Kronecker products.
+    Memoized on ``(A, alpha)`` — bisections over ``alpha`` and
+    revalidation sweeps hit the same key repeatedly.
+    """
+    from .svec import basis_tensor
+
+    a = np.frombuffer(a_bytes, dtype=float).reshape(n, n)
+    basis = basis_tensor(n)  # (m, n, n)
+    out = (
+        np.einsum("ab,kbm->kam", a.T, basis)
+        + np.einsum("kab,bm->kam", basis, a)
+        + alpha * basis
+    )
+    out.setflags(write=False)
+    return out
+
+
+def lyap_basis_tensor(a: np.ndarray, alpha: float = 0.0) -> np.ndarray:
+    """Public entry to the memoized ``L(E_k)`` tensor for ``(A, alpha)``."""
+    a = np.ascontiguousarray(a, dtype=float)
+    return _lyap_basis_tensor(a.tobytes(), a.shape[0], float(alpha))
 
 
 class LmiInfeasibleError(RuntimeError):
@@ -83,6 +113,19 @@ class LyapunovLmiProblem:
     def lyap_operator(self, p: np.ndarray) -> np.ndarray:
         """``L(P) = A^T P + P A + alpha P``."""
         return self.a.T @ p + p @ self.a + self.alpha * p
+
+    def lyap_basis_tensor(self) -> np.ndarray:
+        """The stacked ``L(E_k)`` tensor for this problem's ``(A, alpha)``.
+
+        Compiled once per ``(A, alpha)`` (module-level memoization) and
+        additionally cached on the problem object, so repeated KKT
+        assemblies skip even the cache lookup.
+        """
+        cached = self.__dict__.get("_lyap_tensor")
+        if cached is None:
+            cached = lyap_basis_tensor(self.a, self.alpha)
+            object.__setattr__(self, "_lyap_tensor", cached)
+        return cached
 
     def constraint_margins(self, p: np.ndarray) -> tuple[float, float]:
         """``(floor_margin, decay_margin)`` — both must be >= 0 at a

@@ -18,6 +18,7 @@ __all__ = [
     "smat",
     "svec_basis",
     "basis_matrix",
+    "basis_tensor",
 ]
 
 _SQRT2 = np.sqrt(2.0)
@@ -77,6 +78,20 @@ def svec_basis(n: int) -> tuple[np.ndarray, ...]:
     for unit in basis:
         unit.setflags(write=False)
     return tuple(basis)
+
+
+@lru_cache(maxsize=None)
+def basis_tensor(n: int) -> np.ndarray:
+    """The basis of :func:`svec_basis` stacked as one ``(m, n, n)`` array.
+
+    This is the shape the tensorized solvers contract against: a
+    congruence ``tr(E_k X E_l X)`` Hessian becomes two einsums over this
+    tensor instead of ``m`` Python-level matrix products (or an
+    ``n^2 x n^2`` Kronecker product). Memoized per ``n``, read-only.
+    """
+    out = np.stack(svec_basis(n))
+    out.setflags(write=False)
+    return out
 
 
 @lru_cache(maxsize=None)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.sdp import LmiBlock, LmiInfeasibleError, solve_lmi_ellipsoid
+from repro.sdp import (
+    CompiledLmiSystem,
+    LmiBlock,
+    LmiInfeasibleError,
+    solve_lmi_ellipsoid,
+)
 
 
 def diag_block(f0_diag, coeff_diags, margin=0.0, name=""):
@@ -114,3 +119,172 @@ class TestEllipsoid:
         )
         assert result.feasible
         assert len(result.history) == result.iterations
+
+    def test_empty_block_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_lmi_ellipsoid([], dimension=1)
+
+    def test_dimension_one_bisection_thin_interval(self):
+        # Feasible set is the thin interval [1, 1.001]: the 1-D update
+        # is interval bisection, and many halvings are needed before the
+        # iterate lands inside.  Exercises the dimension==1 branch.
+        blocks = [
+            diag_block([-1], [[1]], name="lower"),
+            diag_block([1.001], [[-1]], name="upper"),
+        ]
+        result = solve_lmi_ellipsoid(
+            blocks, dimension=1, initial_radius=10.0
+        )
+        assert result.feasible
+        assert 1.0 <= result.x[0] <= 1.001
+        assert result.iterations > 1  # took at least one bisection cut
+
+    def test_dimension_one_shape_collapse_breaks(self):
+        # A single-point feasible set {1} shrunk to emptiness by a tiny
+        # margin: the 1-D branch must terminate (emptiness proof or
+        # interval collapse below the 1e-24 width floor), never claim
+        # feasibility, and never loop to budget exhaustion.
+        blocks = [
+            diag_block([-1], [[1]], margin=1e-9, name="lower"),
+            diag_block([1], [[-1]], margin=1e-9, name="upper"),
+        ]
+        result = solve_lmi_ellipsoid(
+            blocks, dimension=1, initial_radius=10.0,
+            raise_on_infeasible=False, max_iterations=10_000,
+        )
+        assert not result.feasible
+        assert result.proved_infeasible or result.iterations < 10_000
+
+    def test_depth_one_infeasibility_proof(self):
+        # Strict margins make x >= 1+m and x <= -1+m jointly empty with
+        # slack, so a cut of depth >= 1 appears and proves emptiness.
+        blocks = [
+            diag_block([-1], [[1]], margin=0.1, name="lower"),
+            diag_block([-1], [[-1]], margin=0.1, name="upper"),
+        ]
+        with pytest.raises(LmiInfeasibleError, match="infeasib"):
+            solve_lmi_ellipsoid(blocks, dimension=1, initial_radius=100.0)
+        result = solve_lmi_ellipsoid(
+            blocks, dimension=1, initial_radius=100.0,
+            raise_on_infeasible=False,
+        )
+        assert result.proved_infeasible
+        assert not result.feasible
+
+    def test_depth_one_proof_multidim(self):
+        # Same emptiness proof through the general (dimension >= 2)
+        # deep-cut branch rather than the 1-D bisection special case.
+        blocks = [
+            diag_block([-1, -1], [[1, 1], [0, 0]], name="lower"),
+            diag_block([-1, -1], [[-1, -1], [0, 0]], name="upper"),
+        ]
+        result = solve_lmi_ellipsoid(
+            blocks, dimension=2, initial_radius=50.0,
+            raise_on_infeasible=False,
+        )
+        assert result.proved_infeasible
+        assert not result.feasible
+
+
+class TestCompiledLmiSystem:
+    def _blocks(self):
+        rng = np.random.default_rng(7)
+        blocks = []
+        for size in (1, 2, 3, 2):
+            f0 = rng.normal(size=(size, size))
+            f0 = (f0 + f0.T) / 2
+            coeffs = []
+            for _ in range(3):
+                c = rng.normal(size=(size, size))
+                coeffs.append((c + c.T) / 2)
+            blocks.append(LmiBlock(f0, coeffs, margin=0.05 * size))
+        return blocks
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompiledLmiSystem([], 1)
+
+    def test_evaluate_matches_blocks(self):
+        blocks = self._blocks()
+        system = CompiledLmiSystem(blocks, 3)
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            x = rng.normal(size=3)
+            for i, block in enumerate(blocks):
+                assert np.allclose(
+                    system.evaluate(i, x), block.evaluate(x), atol=1e-12
+                )
+
+    def test_violations_and_gradient_match_blocks(self):
+        blocks = self._blocks()
+        system = CompiledLmiSystem(blocks, 3)
+        rng = np.random.default_rng(13)
+        for _ in range(5):
+            x = rng.normal(size=3)
+            violations = system.violations(x)
+            for i, block in enumerate(blocks):
+                violated, vector = block.violation(x)
+                assert abs(violations[i] - violated) < 1e-12
+                grad = system.gradient(i, vector)
+                expected = np.array(
+                    [-vector @ c @ vector for c in block.coefficients]
+                )
+                assert np.allclose(grad, expected, atol=1e-12)
+
+    def test_oracle_matches_per_block_argmax(self):
+        blocks = self._blocks()
+        system = CompiledLmiSystem(blocks, 3)
+        rng = np.random.default_rng(17)
+        for _ in range(5):
+            x = rng.normal(size=3)
+            worst, vector, index, violations = system.oracle(x)
+            per_block = [b.violation(x)[0] for b in blocks]
+            assert index == int(np.argmax(per_block))
+            assert abs(worst - max(per_block)) < 1e-12
+            if worst > 0:
+                # The returned eigenvector witnesses the violation.
+                m = blocks[index].evaluate(x)
+                rayleigh = vector @ m @ vector
+                assert abs(
+                    (blocks[index].margin - rayleigh) - worst
+                ) < 1e-10
+
+    def test_active_set_matches_full_sweep(self):
+        from repro.sdp import svec_basis
+
+        a = np.array([[-1.0, 2.0], [0.0, -3.0]])
+        basis = svec_basis(2)
+        dim = len(basis)
+        blocks = [
+            LmiBlock(np.zeros((2, 2)), [e.copy() for e in basis],
+                     margin=0.05, name="P>0"),
+            LmiBlock(np.zeros((2, 2)),
+                     [-(a.T @ e + e @ a) for e in basis],
+                     margin=0.05, name="lyap"),
+            LmiBlock(10.0 * np.eye(2), [-e.copy() for e in basis],
+                     name="P<10I"),
+        ]
+        full = solve_lmi_ellipsoid(blocks, dimension=dim)
+        active = solve_lmi_ellipsoid(blocks, dimension=dim, sweep_every=4)
+        assert full.feasible and active.feasible
+        # Feasibility is always confirmed by a full sweep, so the
+        # active-set iterate satisfies every block exactly like the
+        # full-sweep one.
+        for result in (full, active):
+            p = sum(x * e for x, e in zip(result.x, basis))
+            assert np.linalg.eigvalsh(p).min() > 0
+            assert np.linalg.eigvalsh(a.T @ p + p @ a).max() < 0
+
+    def test_batch_oracle_off_matches_on(self):
+        blocks = self._blocks()
+        on = solve_lmi_ellipsoid(
+            blocks, dimension=3, max_iterations=500,
+            raise_on_infeasible=False,
+        )
+        off = solve_lmi_ellipsoid(
+            blocks, dimension=3, max_iterations=500,
+            raise_on_infeasible=False, batch_oracle=False,
+        )
+        assert on.feasible == off.feasible
+        assert on.iterations == off.iterations
+        assert np.allclose(on.x, off.x, atol=1e-9)
