@@ -133,6 +133,18 @@ class RationalMatrix:
         cols = list(cols)
         return RationalMatrix([[self._data[i][j] for j in cols] for i in rows])
 
+    def permute(self, perm: Sequence[int]) -> "RationalMatrix":
+        """Symmetric row/column permutation ``M[perm][:, perm]``.
+
+        For a square matrix this is the exact similarity (and congruence)
+        transform by the permutation matrix of ``perm`` — the verdict-
+        preserving reshaping the metamorphic test layer exercises.
+        """
+        perm = list(perm)
+        if sorted(perm) != list(range(self.rows)) or self.rows != self.cols:
+            raise ValueError("perm must permute the rows of a square matrix")
+        return self.submatrix(perm, perm)
+
     def leading_principal(self, k: int) -> "RationalMatrix":
         """Top-left ``k x k`` block (the ``k``-th leading principal submatrix)."""
         if not 1 <= k <= min(self.rows, self.cols):

@@ -1,0 +1,86 @@
+"""Replayable failure artifacts for fuzz campaigns.
+
+Every confirmed failure is persisted twice:
+
+* one line in ``failures.jsonl`` — the spec ``(kind, n, seed)`` plus
+  the shrunken spec and the disagreement payload, enough to replay the
+  case with :func:`replay_spec` (regeneration is exact, so the spec
+  *is* the test case);
+* one ``.npz`` per case — the float system matrix and witness pair for
+  inspection in a plain numpy session, no repro imports needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .differential import FuzzProfile, check_system
+from .generate import generate_system
+from .records import FuzzRecord
+
+__all__ = [
+    "write_failure",
+    "load_failures",
+    "replay_spec",
+]
+
+
+def _case_name(spec: dict) -> str:
+    return f"{spec['kind']}-n{spec['n']}-s{spec['seed']}"
+
+
+def write_failure(
+    directory: str | Path,
+    record: FuzzRecord,
+    minimal: dict | None = None,
+) -> Path:
+    """Persist one failure; returns the ``.npz`` path.
+
+    Appends the JSONL line first (the replayable part), then writes the
+    matrix dump — a crash between the two still leaves a usable case.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    spec = record.spec()
+    entry = {
+        "spec": spec,
+        "minimal": minimal or spec,
+        "stable": record.stable,
+        "provenance": record.provenance,
+        "disagreements": record.disagreements,
+        "harness_errors": record.harness_errors,
+    }
+    with (directory / "failures.jsonl").open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    system = generate_system(record.kind, record.n, record.seed)
+    arrays = {"a": system.a_float, "stable": np.array(system.stable)}
+    if system.witness_p is not None:
+        arrays["witness_p"] = system.witness_p.to_numpy()
+        arrays["witness_q"] = system.witness_q.to_numpy()
+    path = directory / f"{_case_name(spec)}.npz"
+    np.savez(path, **arrays)
+    return path
+
+
+def load_failures(directory: str | Path) -> list[dict]:
+    """All recorded failure entries (empty list when none were written)."""
+    path = Path(directory) / "failures.jsonl"
+    if not path.exists():
+        return []
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def replay_spec(
+    spec: dict, profile: FuzzProfile | None = None
+) -> FuzzRecord:
+    """Regenerate a spec'd system and re-run the full battery on it."""
+    system = generate_system(spec["kind"], spec["n"], spec["seed"])
+    return check_system(system, profile)

@@ -1,0 +1,355 @@
+"""Seeded ground-truth system generator (the fuzzer's oracle half).
+
+Every generated system carries a *known* stability verdict, obtained
+constructively rather than by running the code under test:
+
+``stable`` / ``stable-illcond``
+    Built **backwards** from a chosen witness: draw ``P ≻ 0``,
+    ``Q ≻ 0`` and a skew-symmetric ``K`` with small rational entries,
+    then set ``A = P^{-1} (K - Q)`` (exact rational solve). Then
+
+        ``A^T P + P A = (K - Q)^T + (K - Q) = -2 Q ≺ 0``,
+
+    so ``A`` is Hurwitz *by construction* and ``(P, 2Q)`` is a known
+    Lyapunov witness pair. ``stable-illcond`` conjugates by a diagonal
+    of powers of two (exact), skewing the condition number while
+    transforming the witness along.
+
+``unstable`` / ``marginal`` / ``near-marginal`` / ``jordan``
+    Eigenvalue placement: a block-diagonal real matrix with chosen
+    rational eigenvalues (1x1 real, 2x2 rotation for complex pairs,
+    defective Jordan blocks for ``jordan``), conjugated by a random
+    *unimodular integer* matrix — the inverse is exact and integer, so
+    the eigenvalues (hence the strict-Hurwitz verdict) are known
+    exactly. ``marginal`` places an eigenvalue exactly on the imaginary
+    axis (strictly Hurwitz: no), ``near-marginal`` places one a tiny
+    rational to its left (yes, barely).
+
+``integer``
+    An integer/decimal rounding of a ``stable`` construction. Rounding
+    can destroy stability, so the verdict is *recomputed* by the exact
+    fraction-backend Routh test and tagged ``provenance="routh"`` —
+    still a fixed reference every other backend must reproduce.
+
+``zero``
+    The all-zero matrix (every eigenvalue 0): strictly Hurwitz, no.
+
+All draws are keyed by ``(kind, n, seed)`` through
+``numpy.random.default_rng`` seed sequences, so generation is exactly
+reproducible across processes — a failure replays from its spec alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from ..exact import RationalMatrix, inverse, is_hurwitz_matrix, solve
+
+__all__ = [
+    "KINDS",
+    "GeneratedSystem",
+    "generate_system",
+    "system_specs",
+    "unimodular_matrix",
+    "random_spd",
+]
+
+#: Every generator kind, in the order ``system_specs`` cycles through.
+KINDS = (
+    "stable",
+    "stable-illcond",
+    "integer",
+    "unstable",
+    "marginal",
+    "near-marginal",
+    "jordan",
+    "zero",
+)
+
+#: Per-kind tag mixed into the seed sequence so the same integer seed
+#: yields independent draws for different kinds.
+_KIND_TAG = {kind: index + 1 for index, kind in enumerate(KINDS)}
+
+
+@dataclass
+class GeneratedSystem:
+    """A system with a stability verdict known independently of the code
+    under test.
+
+    ``witness_p``/``witness_q`` are the constructed Lyapunov pair (with
+    ``A^T P + P A = -2 Q`` exactly) for the backwards-constructed kinds,
+    ``None`` for placement/recomputed kinds. ``provenance`` names how
+    the verdict is known: ``"construction"``, ``"placement"`` or
+    ``"routh"``. ``marginal`` flags an eigenvalue exactly on the axis.
+    """
+
+    kind: str
+    n: int
+    seed: int
+    a: RationalMatrix
+    stable: bool
+    marginal: bool = False
+    witness_p: RationalMatrix | None = None
+    witness_q: RationalMatrix | None = None
+    provenance: str = "construction"
+    info: dict = field(default_factory=dict)
+
+    @property
+    def a_float(self) -> np.ndarray:
+        """The float image of ``A`` fed to the numeric synthesis side."""
+        return self.a.to_numpy()
+
+    def spec(self) -> dict:
+        """The regeneration key (see :func:`generate_system`)."""
+        return {"kind": self.kind, "n": self.n, "seed": self.seed}
+
+
+# ----------------------------------------------------------------------
+# Random rational building blocks
+# ----------------------------------------------------------------------
+
+def _rng(kind: str, n: int, seed: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence([_KIND_TAG[kind], n, seed])
+    )
+
+
+def _small_fraction(rng: np.random.Generator, span: int = 9) -> Fraction:
+    return Fraction(
+        int(rng.integers(-span, span + 1)), int(rng.integers(1, span + 1))
+    )
+
+
+def _fraction_matrix(n: int, rng: np.random.Generator) -> RationalMatrix:
+    return RationalMatrix(
+        [[_small_fraction(rng) for _ in range(n)] for _ in range(n)]
+    )
+
+
+def random_spd(n: int, rng: np.random.Generator, shift: int = 0) -> RationalMatrix:
+    """A random symmetric positive definite rational matrix.
+
+    ``G G^T + (n + shift) I`` — positive definite for any ``G``, with
+    the identity shift keeping the conditioning sane.
+    """
+    g = _fraction_matrix(n, rng)
+    return (g @ g.T + RationalMatrix.identity(n).scale(n + shift)).symmetrize()
+
+
+def _random_skew(n: int, rng: np.random.Generator) -> RationalMatrix:
+    k = _fraction_matrix(n, rng)
+    return (k - k.T).scale(Fraction(1, 2))
+
+
+def unimodular_matrix(n: int, rng: np.random.Generator) -> RationalMatrix:
+    """A random integer matrix with determinant ±1 (exact inverse).
+
+    Built as a product of integer row shears and row swaps, so both the
+    matrix and its inverse have (small) integer entries — similarity
+    transforms through it keep every eigenvalue, and every rational
+    computation, exact.
+    """
+    rows = [
+        [Fraction(int(i == j)) for j in range(n)] for i in range(n)
+    ]
+    for _ in range(2 * n):
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            continue
+        c = Fraction(int(rng.integers(-2, 3)))
+        if c:
+            rows[int(i)] = [
+                x + c * y for x, y in zip(rows[int(i)], rows[int(j)])
+            ]
+        if rng.integers(0, 4) == 0:
+            i2, j2 = int(rng.integers(0, n)), int(rng.integers(0, n))
+            rows[i2], rows[j2] = rows[j2], rows[i2]
+    return RationalMatrix(rows)
+
+
+# ----------------------------------------------------------------------
+# Constructions
+# ----------------------------------------------------------------------
+
+def _stable_construction(
+    n: int, rng: np.random.Generator
+) -> tuple[RationalMatrix, RationalMatrix, RationalMatrix]:
+    """``(A, P, Q)`` with ``A^T P + P A = -2 Q`` exactly."""
+    p = random_spd(n, rng)
+    q = random_spd(n, rng, shift=1)
+    k = _random_skew(n, rng)
+    a = solve(p, k - q)
+    return a, p, q
+
+
+def _placement(
+    n: int,
+    rng: np.random.Generator,
+    real_parts: list[Fraction],
+    imag: dict[int, Fraction] | None = None,
+    defective: set[int] | None = None,
+) -> RationalMatrix:
+    """Block-diagonal matrix with the given spectrum, conjugated by a
+    random unimodular integer matrix (exact similarity).
+
+    ``real_parts`` lists one entry per state; index ``i`` in ``imag``
+    turns ``(i, i+1)`` into the complex pair ``re ± im·j`` via a 2x2
+    rotation block; index ``i`` in ``defective`` chains state ``i`` to
+    ``i+1`` with a Jordan 1 (both must share ``real_parts[i]``).
+    """
+    imag = imag or {}
+    defective = defective or set()
+    rows = [[Fraction(0)] * n for _ in range(n)]
+    i = 0
+    while i < n:
+        rows[i][i] = real_parts[i]
+        if i in imag:
+            rows[i + 1][i + 1] = real_parts[i]
+            rows[i][i + 1] = imag[i]
+            rows[i + 1][i] = -imag[i]
+            i += 2
+            continue
+        if i in defective:
+            rows[i + 1][i + 1] = real_parts[i]
+            rows[i][i + 1] = Fraction(1)
+            i += 2
+            continue
+        i += 1
+    d = RationalMatrix(rows)
+    t = unimodular_matrix(n, rng)
+    return t @ d @ inverse(t)
+
+
+def _negative_real(rng: np.random.Generator) -> Fraction:
+    return Fraction(-int(rng.integers(1, 9)), int(rng.integers(1, 5)))
+
+
+def generate_system(kind: str, n: int, seed: int) -> GeneratedSystem:
+    """Build one ground-truth system; deterministic in ``(kind, n, seed)``."""
+    if kind not in KINDS:
+        raise KeyError(f"unknown system kind {kind!r}; known: {KINDS}")
+    if not 1 <= n <= 64:
+        raise ValueError(f"dimension n={n} out of range")
+    rng = _rng(kind, n, seed)
+
+    if kind in ("stable", "stable-illcond"):
+        a, p, q = _stable_construction(n, rng)
+        info: dict = {}
+        if kind == "stable-illcond":
+            # Conjugate by diag(2^k): exact, and the witness transforms
+            # along (D^{-1} is its own transpose-inverse pattern here).
+            spread = min(1 + n // 3, 6)
+            powers = [int(rng.integers(-spread, spread + 1)) for _ in range(n)]
+            d = RationalMatrix.diagonal([Fraction(2) ** k for k in powers])
+            d_inv = RationalMatrix.diagonal(
+                [Fraction(1, 2 ** k) if k >= 0 else Fraction(2 ** -k)
+                 for k in powers]
+            )
+            a = d @ a @ d_inv
+            p = (d_inv @ p @ d_inv).symmetrize()
+            q = (d_inv @ q @ d_inv).symmetrize()
+            info["powers"] = powers
+        return GeneratedSystem(
+            kind=kind, n=n, seed=seed, a=a, stable=True,
+            witness_p=p, witness_q=q, provenance="construction", info=info,
+        )
+
+    if kind == "integer":
+        a, _p, _q = _stable_construction(n, rng)
+        scale = int(rng.choice([1, 10]))
+        rounded = a.map(
+            lambda x: Fraction(round(x * scale), scale) if x else Fraction(0)
+        )
+        stable = is_hurwitz_matrix(rounded, backend="fraction")
+        return GeneratedSystem(
+            kind=kind, n=n, seed=seed, a=rounded, stable=stable,
+            provenance="routh", info={"scale": scale},
+        )
+
+    if kind == "zero":
+        return GeneratedSystem(
+            kind=kind, n=n, seed=seed, a=RationalMatrix.zeros(n, n),
+            stable=False, marginal=True, provenance="placement",
+        )
+
+    # Placement kinds: choose a spectrum, conjugate exactly.
+    real_parts = [_negative_real(rng) for _ in range(n)]
+    imag: dict[int, Fraction] = {}
+    defective: set[int] = set()
+    marginal = False
+    if kind == "unstable":
+        hot = int(rng.integers(0, n))
+        real_parts[hot] = Fraction(int(rng.integers(1, 9)), 4)
+        if n - hot >= 2 and rng.integers(0, 2):
+            imag[hot] = Fraction(int(rng.integers(1, 5)))
+            real_parts[hot + 1] = real_parts[hot]
+        stable = False
+    elif kind == "marginal":
+        if n >= 2 and rng.integers(0, 2):
+            real_parts[0] = Fraction(0)
+            real_parts[1] = Fraction(0)
+            imag[0] = Fraction(int(rng.integers(1, 5)))
+        else:
+            real_parts[0] = Fraction(0)
+        stable = False
+        marginal = True
+    elif kind == "near-marginal":
+        real_parts[0] = Fraction(-1, int(rng.choice([64, 256, 1024])))
+        stable = True
+    elif kind == "jordan":
+        if n >= 2:
+            shared = _negative_real(rng)
+            real_parts[0] = real_parts[1] = shared
+            if rng.integers(0, 2):
+                defective.add(0)  # defective pair; else semisimple repeat
+        stable = True
+    else:  # pragma: no cover - guarded by the KINDS check above
+        raise AssertionError(kind)
+    a = _placement(n, rng, real_parts, imag=imag, defective=defective)
+    return GeneratedSystem(
+        kind=kind, n=n, seed=seed, a=a, stable=stable, marginal=marginal,
+        provenance="placement",
+        info={
+            "real_parts": [str(x) for x in real_parts],
+            "imag": {str(k): str(v) for k, v in imag.items()},
+            "defective": sorted(defective),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign plans
+# ----------------------------------------------------------------------
+
+def system_specs(
+    count: int,
+    seed: int,
+    sizes: tuple[int, ...],
+    kinds: tuple[str, ...] = KINDS,
+) -> list[dict]:
+    """A deterministic plan of ``count`` system specs.
+
+    Kinds cycle round-robin (every kind gets coverage even at small
+    counts); sizes and per-system seeds are drawn from one master
+    ``default_rng(seed)`` stream, so the whole plan — and therefore the
+    whole campaign — is a pure function of ``(count, seed, sizes,
+    kinds)``.
+    """
+    if count < 0:
+        raise ValueError("count must be nonnegative")
+    if not sizes:
+        raise ValueError("sizes must be nonempty")
+    rng = np.random.default_rng(seed)
+    specs = []
+    for index in range(count):
+        kind = kinds[index % len(kinds)]
+        n = int(sizes[int(rng.integers(0, len(sizes)))])
+        if kind in ("marginal", "jordan") and n < 2:
+            n = max(2, min(sizes))
+        specs.append(
+            {"kind": kind, "n": n, "seed": int(rng.integers(0, 2**31))}
+        )
+    return specs

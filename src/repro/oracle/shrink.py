@@ -1,0 +1,64 @@
+"""Shrink a failing fuzz case to the smallest failing dimension.
+
+Failures are regenerated, not mutated: a spec ``(kind, n, seed)`` fully
+determines a system, so shrinking means re-running the same seeded
+construction at smaller ``n`` and keeping the first dimension that
+still fails.  The scan is ascending (``n' = 1, 2, ...``) rather than a
+bisection because failure is not monotone in ``n`` — a validator bug
+may fire at ``n = 3`` and ``n = 7`` but not ``n = 5`` — and the first
+hit of an ascending scan is the true minimum by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .differential import FuzzProfile, check_system
+from .generate import generate_system
+from .records import FuzzRecord
+
+__all__ = ["ShrinkResult", "shrink_failure"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal failing spec found for one original failure."""
+
+    original: dict
+    minimal: dict
+    record: FuzzRecord
+    attempts: int
+
+    @property
+    def reduced(self) -> bool:
+        """True when shrinking found a strictly smaller dimension."""
+        return self.minimal["n"] < self.original["n"]
+
+
+def shrink_failure(
+    record: FuzzRecord, profile: FuzzProfile | None = None
+) -> ShrinkResult:
+    """Scan ``n' = 1..n`` for the smallest dimension that still fails.
+
+    Every candidate dimension reuses the original ``(kind, seed)`` so
+    the reduced case replays with the same construction path.  Falls
+    back to the original spec when no smaller dimension reproduces the
+    failure (the bug genuinely needs the original size).
+    """
+    original = record.spec()
+    attempts = 0
+    for n_small in range(1, record.n + 1):
+        attempts += 1
+        try:
+            system = generate_system(record.kind, n_small, record.seed)
+        except Exception:
+            continue  # kind may not exist at this size (e.g. jordan n=1)
+        reduced = check_system(system, profile)
+        if reduced.failed:
+            return ShrinkResult(
+                original=original, minimal=reduced.spec(),
+                record=reduced, attempts=attempts,
+            )
+    return ShrinkResult(
+        original=original, minimal=original, record=record, attempts=attempts
+    )

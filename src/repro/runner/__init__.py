@@ -32,6 +32,7 @@ from .journal import (
 )
 from .tasks import (
     Figure3Task,
+    FuzzTask,
     PiecewiseTask,
     RevalidateTask,
     Table1Task,
@@ -66,6 +67,7 @@ __all__ = [
     "Figure3Task",
     "Table2Task",
     "PiecewiseTask",
+    "FuzzTask",
     "TaskTiming",
     "TimingCollector",
     "write_bench",

@@ -90,10 +90,11 @@ def _load_default_record_types() -> None:
         Table2Record,
     )
     from ..lyapunov import LyapunovCandidate
+    from ..oracle.records import FuzzRecord
 
     for cls in (
         Table1Record, Table2Record, Figure3Record, PiecewiseRecord,
-        LyapunovCandidate,
+        LyapunovCandidate, FuzzRecord,
     ):
         register_record_type(cls)
 

@@ -39,6 +39,7 @@ __all__ = [
     "Figure3Task",
     "Table2Task",
     "PiecewiseTask",
+    "FuzzTask",
 ]
 
 
@@ -466,4 +467,67 @@ class PiecewiseTask(Task):
         # into the timing artifact and journal records alongside the
         # aggregate synth_s.
         detail.update(result.phases)
+        return detail
+
+class FuzzTask(Task):
+    """One oracle-fuzz case: regenerate a spec'd system, run the battery.
+
+    The task pickles as ``(kind, n, seed)`` plus the profile's plain-dict
+    spec — the system itself is deterministically regenerated in the
+    worker (:func:`repro.oracle.generate_system`), so nothing
+    matrix-shaped crosses the pipe and the journal fingerprint is the
+    spec itself.  The resulting :class:`~repro.oracle.FuzzRecord`
+    deliberately carries no wall-clock fields, which is what makes two
+    same-seed campaign journals byte-identical (the determinism test's
+    contract).
+    """
+
+    def __init__(self, kind, n, seed, profile=None):
+        self.kind = kind
+        self.n = n
+        self.seed = seed
+        self.profile = dict(profile) if profile else None
+
+    def key(self):
+        return {"kind": self.kind, "n": self.n, "seed": self.seed}
+
+    def _profile(self):
+        if self.profile is None:
+            return None
+        from ..oracle import FuzzProfile
+
+        return FuzzProfile(**{
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in self.profile.items()
+        })
+
+    def run(self):
+        from ..oracle import check_system, generate_system
+
+        system = generate_system(self.kind, self.n, self.seed)
+        return check_system(system, self._profile())
+
+    def _aborted(self, message):
+        from ..oracle.records import FuzzRecord
+
+        return FuzzRecord(
+            kind=self.kind, n=self.n, seed=self.seed,
+            stable=None, provenance="aborted",
+            harness_errors=[message],
+        )
+
+    def on_timeout(self, elapsed):
+        # No elapsed time in the record: FuzzRecords must stay
+        # deterministic functions of the spec (see the class docstring).
+        return self._aborted("runner deadline exceeded")
+
+    def on_error(self, message):
+        return self._aborted(f"task error: {message}")
+
+    def timing_detail(self, result):
+        detail = {"checks": result.checks}
+        if result.disagreements:
+            detail["disagreements"] = len(result.disagreements)
+        if result.harness_errors:
+            detail["harness_errors"] = len(result.harness_errors)
         return detail

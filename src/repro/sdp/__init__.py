@@ -20,6 +20,7 @@ from .problems import (
     LmiInfeasibleError,
     LyapunovLmiProblem,
     lyap_basis_tensor,
+    lyapunov_lmi_blocks,
 )
 from .proj import solve_proj
 from .shift import solve_shift

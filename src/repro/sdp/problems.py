@@ -21,7 +21,12 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["LyapunovLmiProblem", "LmiInfeasibleError", "lyap_basis_tensor"]
+__all__ = [
+    "LyapunovLmiProblem",
+    "LmiInfeasibleError",
+    "lyap_basis_tensor",
+    "lyapunov_lmi_blocks",
+]
 
 
 @lru_cache(maxsize=32)
@@ -146,3 +151,40 @@ class LyapunovLmiProblem:
         """Worst constraint violation (0 when feasible)."""
         floor_margin, decay_margin = self.constraint_margins(p)
         return max(0.0, -floor_margin, -decay_margin)
+
+
+def lyapunov_lmi_blocks(
+    a: np.ndarray,
+    alpha: float = 0.0,
+    nu: float | None = None,
+    margin: float = 1e-6,
+) -> list:
+    """The Lyapunov LMI family as explicit :class:`~repro.sdp.LmiBlock`\\ s.
+
+    Expresses ``P ⪰ nu_eff I`` and ``-(A^T P + P A + alpha P) ⪰
+    margin I`` over the svec coordinates of ``P``, the form the generic
+    block-LMI engines (ellipsoid, barrier) consume. Used by the
+    metamorphic fuzz layer to assert that feasibility verdicts are
+    invariant under block reordering, and handy for composing the
+    Lyapunov constraints into larger block systems.
+    """
+    from .generic import LmiBlock
+    from .svec import basis_tensor
+
+    problem = LyapunovLmiProblem(a=a, alpha=alpha, nu=nu, margin=margin)
+    n = problem.n
+    basis = basis_tensor(n)
+    zero = np.zeros((n, n))
+    floor = LmiBlock(
+        f0=-(problem.nu_effective - problem.margin) * np.eye(n),
+        coefficients=list(basis),
+        margin=problem.margin,
+        name="floor",
+    )
+    decay = LmiBlock(
+        f0=zero,
+        coefficients=[-l for l in problem.lyap_basis_tensor()],
+        margin=problem.margin,
+        name="decay",
+    )
+    return [floor, decay]

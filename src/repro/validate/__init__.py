@@ -2,12 +2,18 @@
 
 from .piecewise import PiecewiseValidation, validate_piecewise
 from .pipeline import ValidationReport, lie_derivative_exact, validate_candidate
-from .validators import VALIDATORS, ValidatorResult, run_validator
+from .validators import (
+    VALIDATORS,
+    ValidatorResult,
+    run_validator,
+    temporary_validator,
+)
 
 __all__ = [
     "VALIDATORS",
     "ValidatorResult",
     "run_validator",
+    "temporary_validator",
     "ValidationReport",
     "validate_candidate",
     "lie_derivative_exact",

@@ -50,6 +50,7 @@ that produced the verdict). A clean run carries none of these keys.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -69,6 +70,7 @@ __all__ = [
     "VALIDATORS",
     "VALIDATOR_ESCALATION",
     "run_validator",
+    "temporary_validator",
 ]
 
 
@@ -183,6 +185,27 @@ VALIDATOR_ESCALATION: dict[str, str] = {
     "gauss": "sympy",
     "ldl": "sympy",
 }
+
+
+@contextmanager
+def temporary_validator(name: str, fn: Callable):
+    """Register (or shadow) a validator for the duration of a block.
+
+    The fuzz test suite uses this to plant deliberately broken
+    validators — e.g. a sign-flipped ``sylvester`` — and assert the
+    differential harness catches and shrinks them.  Restores the
+    previous registry state (including a shadowed original) on exit.
+    """
+    sentinel = object()
+    previous = VALIDATORS.get(name, sentinel)
+    VALIDATORS[name] = fn
+    try:
+        yield
+    finally:
+        if previous is sentinel:
+            VALIDATORS.pop(name, None)
+        else:
+            VALIDATORS[name] = previous
 
 
 def run_validator(

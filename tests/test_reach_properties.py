@@ -1,0 +1,117 @@
+"""Property-based zonotope laws, with the oracle generator as the
+matrix strategy source.
+
+The linear maps exercised here are ground-truth systems from
+:mod:`repro.oracle.generate` — the same seeded constructions the fuzz
+campaign sweeps — so the strategy space includes ill-conditioned,
+defective and singular matrices, not just well-behaved gaussians.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oracle import KINDS, generate_system
+from repro.reach import Zonotope
+
+_DIMS = st.integers(min_value=1, max_value=4)
+_SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def oracle_matrix(draw, dims=_DIMS):
+    """A generated system matrix (float image) of dimension 2..4."""
+    kind = draw(st.sampled_from(KINDS))
+    n = draw(dims)
+    if kind in ("marginal", "jordan"):
+        n = max(n, 2)
+    return generate_system(kind, n, draw(_SEEDS)).a_float
+
+
+@st.composite
+def zonotope(draw, n):
+    """A random zonotope of dimension ``n`` with 0..5 generators."""
+    rng = np.random.default_rng(draw(_SEEDS))
+    m = draw(st.integers(min_value=0, max_value=5))
+    return Zonotope(rng.normal(size=n), rng.normal(size=(n, m)))
+
+
+@st.composite
+def matrix_and_zonotope(draw):
+    matrix = draw(oracle_matrix())
+    return matrix, draw(zonotope(matrix.shape[0]))
+
+
+@given(matrix_and_zonotope(), _SEEDS)
+@settings(max_examples=40)
+def test_linear_map_support_duality(pair, dseed):
+    """support(d, M Z) == support(M^T d, Z) — the defining identity."""
+    matrix, z = pair
+    direction = np.random.default_rng(dseed).normal(size=matrix.shape[0])
+    mapped = z.linear_map(matrix)
+    assert np.isclose(
+        mapped.support(direction), z.support(matrix.T @ direction),
+        rtol=1e-9, atol=1e-9,
+    )
+
+
+@given(matrix_and_zonotope(), _SEEDS, _SEEDS)
+@settings(max_examples=40)
+def test_minkowski_sum_support_is_additive(pair, zseed, dseed):
+    matrix, x = pair
+    n = matrix.shape[0]
+    rng = np.random.default_rng(zseed)
+    y = Zonotope(rng.normal(size=n), rng.normal(size=(n, 3)))
+    direction = np.random.default_rng(dseed).normal(size=n)
+    both = x.minkowski_sum(y)
+    assert np.isclose(
+        both.support(direction),
+        x.support(direction) + y.support(direction),
+        rtol=1e-9, atol=1e-9,
+    )
+
+
+@given(matrix_and_zonotope(), _SEEDS)
+@settings(max_examples=40)
+def test_interval_hull_contains_sampled_points(pair, bseed):
+    matrix, z = pair
+    z = z.linear_map(matrix)
+    lower, upper = z.interval_hull()
+    rng = np.random.default_rng(bseed)
+    for _ in range(5):
+        b = rng.uniform(-1.0, 1.0, size=z.n_generators)
+        point = z.center + z.generators @ b
+        assert np.all(point >= lower - 1e-9)
+        assert np.all(point <= upper + 1e-9)
+
+
+@given(matrix_and_zonotope(), _SEEDS)
+@settings(max_examples=30)
+def test_reduce_order_is_a_sound_overapproximation(pair, dseed):
+    matrix, z = pair
+    reduced = z.linear_map(matrix).reduce_order(max(z.dimension + 1, 2))
+    original = z.linear_map(matrix)
+    direction = np.random.default_rng(dseed).normal(size=z.dimension)
+    assert reduced.support(direction) >= original.support(direction) - 1e-9
+
+
+@given(matrix_and_zonotope(), st.floats(min_value=0.0, max_value=8.0))
+@settings(max_examples=30)
+def test_scale_is_positively_homogeneous(pair, factor):
+    matrix, z = pair
+    direction = matrix[0] if matrix.shape[0] else np.ones(1)
+    assert np.isclose(
+        z.scale(factor).support(direction),
+        factor * z.support(direction),
+        rtol=1e-9, atol=1e-9,
+    )
+
+
+@given(oracle_matrix())
+@settings(max_examples=30)
+def test_point_zonotope_maps_to_point(matrix):
+    n = matrix.shape[0]
+    z = Zonotope.point(np.ones(n)).linear_map(matrix)
+    assert z.n_generators == 0
+    assert np.allclose(z.center, matrix @ np.ones(n))
+    assert z.radius_inf() == 0.0

@@ -1,0 +1,96 @@
+"""Property-based laws for the Table II volume formulas, with SPD
+matrices sourced from the oracle generator's witness constructions."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oracle import generate_system
+from repro.robust import (
+    cap_fraction,
+    ellipsoid_volume,
+    log10_truncated_ellipsoid_volume,
+    truncated_ellipsoid_volume,
+    unit_ball_volume,
+)
+
+_SEEDS = st.integers(min_value=0, max_value=10_000)
+_DIMS = st.integers(min_value=1, max_value=5)
+
+
+@st.composite
+def witness_spd(draw):
+    """A genuinely SPD matrix: a generated stable system's witness P."""
+    system = generate_system("stable", draw(_DIMS), draw(_SEEDS))
+    return system.witness_p.to_numpy()
+
+
+@given(witness_spd(), st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=40)
+def test_volume_scales_as_k_to_the_half_n(p, k):
+    n = p.shape[0]
+    base = ellipsoid_volume(p, k)
+    quadrupled = ellipsoid_volume(p, 4.0 * k)
+    assert np.isclose(quadrupled, base * 2.0 ** n, rtol=1e-9)
+
+
+@given(witness_spd())
+@settings(max_examples=40)
+def test_volume_matches_determinant_formula(p):
+    n = p.shape[0]
+    expected = unit_ball_volume(n) / math.sqrt(np.linalg.det(p))
+    assert np.isclose(ellipsoid_volume(p, 1.0), expected, rtol=1e-9)
+
+
+@given(witness_spd(), st.floats(min_value=0.01, max_value=50.0), _SEEDS)
+@settings(max_examples=40)
+def test_truncation_never_grows_the_volume(p, k, seed):
+    n = p.shape[0]
+    rng = np.random.default_rng(seed)
+    center = rng.normal(size=n)
+    normal = rng.normal(size=n)
+    if not np.any(normal):
+        normal = np.ones(n)
+    offset = float(rng.normal())
+    full = ellipsoid_volume(p, k)
+    truncated = truncated_ellipsoid_volume(p, k, center, normal, offset)
+    assert -1e-12 <= truncated <= full * (1 + 1e-9)
+    # Opposite half-spaces partition the ellipsoid.
+    other = truncated_ellipsoid_volume(p, k, center, -normal, -offset)
+    assert np.isclose(truncated + other, full, rtol=1e-9, atol=1e-12)
+
+
+@given(witness_spd(), st.floats(min_value=0.01, max_value=50.0), _SEEDS)
+@settings(max_examples=40)
+def test_log10_variant_agrees_when_finite(p, k, seed):
+    n = p.shape[0]
+    rng = np.random.default_rng(seed)
+    center = rng.normal(size=n)
+    normal = rng.normal(size=n)
+    if not np.any(normal):
+        normal = np.ones(n)
+    offset = float(rng.normal())
+    plain = truncated_ellipsoid_volume(p, k, center, normal, offset)
+    logged = log10_truncated_ellipsoid_volume(p, k, center, normal, offset)
+    if plain > 0 and math.isfinite(plain):
+        assert np.isclose(logged, math.log10(plain), rtol=1e-9, atol=1e-9)
+    else:
+        assert logged == -math.inf or plain == math.inf
+
+
+@given(st.floats(min_value=-1.0, max_value=1.0), st.integers(1, 6))
+@settings(max_examples=60)
+def test_cap_fraction_symmetry_and_bounds(t, n):
+    f = cap_fraction(t, n)
+    assert 0.0 <= f <= 1.0
+    assert np.isclose(f + cap_fraction(-t, n), 1.0, atol=1e-12)
+
+
+@given(st.integers(1, 6))
+@settings(max_examples=10)
+def test_cap_fraction_is_monotone(n):
+    grid = np.linspace(-1.0, 1.0, 21)
+    values = [cap_fraction(float(t), n) for t in grid]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
