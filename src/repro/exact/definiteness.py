@@ -54,6 +54,8 @@ def _int_minor_stream(matrix: RationalMatrix, mode: str):
     rows, _den = kernels.normalized(matrix)
     if mode == "modular":
         return iter(kernels.modular_leading_principal_minors(rows))
+    if mode == "gmpy2":
+        return kernels.iter_gmpy2_leading_principal_minors(rows)
     return kernels.iter_int_leading_principal_minors(rows)
 
 
@@ -122,7 +124,10 @@ def ldl_positive_definite(
     mode = kernels.resolve_backend(backend, matrix.rows, op="ldl")
     if mode != "fraction":
         rows, _den = kernels.normalized(matrix)
-        data = kernels.int_ldlt(rows)
+        if mode == "gmpy2":
+            data = kernels.gmpy2_ldlt(rows)
+        else:
+            data = kernels.int_ldlt(rows)
         if data is None:
             return False
         _columns, minors = data

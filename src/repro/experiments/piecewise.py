@@ -27,6 +27,7 @@ def run_piecewise(
     conditions_scope: str = "surface",
     solver: str = "hybrid",
     oracle_batch: bool = True,
+    icp_backend: str = "auto",
     jobs: int | None = 1,
     task_deadline: float | None = None,
     timing=None,
@@ -40,7 +41,8 @@ def run_piecewise(
     tensorized ellipsoid burn-in + warm-started barrier polish,
     ``"ellipsoid"`` = certifying deep-cut method alone, ``"barrier"`` =
     level-shift candidate finder); ``oracle_batch=False`` falls back to
-    the per-block differential separation oracle.
+    the per-block differential separation oracle. ``icp_backend``
+    selects the validation refuter engine (``"auto"|"scalar"|"batched"``).
     """
     from ..runner import PiecewiseTask, run_tasks
 
@@ -50,6 +52,7 @@ def run_piecewise(
             max_iterations=max_iterations, max_boxes=max_boxes,
             conditions_scope=conditions_scope,
             solver=solver, oracle_batch=oracle_batch,
+            icp_backend=icp_backend,
         )
         for name in case_names
         for encoding in encodings

@@ -69,6 +69,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap the profile's size range (trims the plan, not the grid)",
     )
     parser.add_argument(
+        "--icp-backends", default=None, metavar="ENGINES",
+        help="comma list of ICP engines to cross-check per system "
+        "(default 'scalar,batched'; a single engine disables the "
+        "icp-engine differential)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: all cores; 1 = in-process)",
     )
@@ -117,16 +123,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _profile(args):
+    from dataclasses import replace
+
     from ..oracle import LONG_PROFILE, QUICK_PROFILE
+    from ..smt import ICP_BACKENDS
 
     profile = LONG_PROFILE if args.long else QUICK_PROFILE
     if args.max_n is not None:
         sizes = tuple(n for n in profile.sizes if n <= args.max_n)
         if not sizes:
             raise SystemExit(f"--max-n {args.max_n} empties the size range")
-        from dataclasses import replace
-
         profile = replace(profile, sizes=sizes)
+    if getattr(args, "icp_backends", None):
+        engines = tuple(
+            name.strip() for name in args.icp_backends.split(",") if name.strip()
+        )
+        unknown = [name for name in engines if name not in ICP_BACKENDS]
+        if unknown:
+            raise SystemExit(
+                f"unknown ICP engine(s) {unknown}; known: {ICP_BACKENDS}"
+            )
+        profile = replace(profile, icp_backends=engines)
     return profile
 
 

@@ -22,6 +22,11 @@ checks four families of invariants, recording one dict per violation:
     construction is a soundness bug (no quadratic Lyapunov certificate
     can exist), reported as ``unsound-true``.
 
+``icp-engine``
+    The batched ICP refuter (:mod:`repro.smt.boxes`) must reproduce the
+    scalar branch-and-prune engine *exactly* — verdict, counterexample
+    and box statistics — on small definiteness queries.
+
 ``metamorphic-*``
     Verdict invariance under exact similarity transforms, state
     permutations, positive scaling of ``P``, and LMI block reordering —
@@ -41,9 +46,10 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-from ..exact import RationalMatrix, is_hurwitz_matrix
+from ..exact import RationalMatrix, gmpy2_available, is_hurwitz_matrix
 from ..lyapunov import SynthesisTimeout, synthesize
 from ..sdp import LmiInfeasibleError
+from ..smt import check_positive_definite_icp
 from ..validate import run_validator
 from ..validate.pipeline import lie_derivative_exact
 from .generate import GeneratedSystem
@@ -59,6 +65,14 @@ __all__ = [
 #: Validators that accept the ``backend=`` kernel option; everything
 #: else (sympy, icp, scratch validators) runs once per matrix.
 _KERNEL_VALIDATORS = frozenset({"sylvester", "gauss", "ldl"})
+
+#: Default kernel-backend sweep. The optional ``"gmpy2"`` backend joins
+#: automatically when the package is importable, so an installed gmpy2
+#: is always under differential test against the int/Fraction oracles
+#: (and campaigns on machines without it keep their historical grid).
+_DEFAULT_KERNEL_BACKENDS = ("fraction", "int", "modular") + (
+    ("gmpy2",) if gmpy2_available() else ()
+)
 
 
 @dataclass(frozen=True)
@@ -76,7 +90,7 @@ class FuzzProfile:
     )
     lmi_backends: tuple = ("ipm", "shift", "proj")
     validators: tuple = ("sylvester", "gauss", "ldl", "sympy")
-    kernel_backends: tuple = ("fraction", "int", "modular")
+    kernel_backends: tuple = _DEFAULT_KERNEL_BACKENDS
     sigfigs: int = 10
     eq_smt_max_n: int = 5
     eq_smt_deadline: float = 5.0
@@ -84,6 +98,9 @@ class FuzzProfile:
     metamorphic: bool = True
     lmi_block_max_n: int = 3
     lmi_block_iterations: int = 4000
+    icp_backends: tuple = ("scalar", "batched")
+    icp_max_n: int = 3
+    icp_max_boxes: int = 4000
 
     def spec(self) -> dict:
         """Plain-dict form (picklable task field / fingerprint input)."""
@@ -268,6 +285,58 @@ def _check_candidates(h: _Harness) -> None:
             )
 
 
+def _check_icp_engines(h: _Harness) -> None:
+    """The scalar and batched ICP engines must be indistinguishable.
+
+    The batched engine (:mod:`repro.smt.boxes`) is specified to replay
+    the scalar branch-and-prune *exactly* — same verdicts, same
+    counterexamples, same box counts — so any divergence on a fuzzed
+    definiteness query is a bug in the vectorized kernels, not noise.
+    Small sizes only: the sphere-face query count grows with ``n`` and
+    the equivalence is dimension-independent.
+    """
+    system, profile = h.system, h.profile
+    if len(profile.icp_backends) < 2 or system.n > profile.icp_max_n:
+        return
+    targets = [("A-sym", system.a.symmetrize())]
+    if system.witness_p is not None:
+        targets.append(("P", system.witness_p))
+    for label, matrix in targets:
+        outcomes = {}
+        for backend in profile.icp_backends:
+            try:
+                outcomes[backend] = check_positive_definite_icp(
+                    matrix,
+                    max_boxes=profile.icp_max_boxes,
+                    backend=backend,
+                )
+            except Exception as exc:
+                h.record.checks += 1
+                h.record.harness_errors.append(
+                    f"icp/{backend} on {label}: {type(exc).__name__}: {exc}"
+                )
+        if len(outcomes) < 2:
+            continue
+        reference_name = next(iter(outcomes))
+        reference = outcomes[reference_name]
+        expected = (
+            reference.verdict, reference.counterexample,
+            reference.faces_checked, reference.boxes_explored,
+        )
+        for backend, outcome in outcomes.items():
+            if backend == reference_name:
+                continue
+            h.expect(
+                "icp-engine",
+                f"{label}:{reference_name}-vs-{backend}",
+                expected,
+                (
+                    outcome.verdict, outcome.counterexample,
+                    outcome.faces_checked, outcome.boxes_explored,
+                ),
+            )
+
+
 def check_system(
     system: GeneratedSystem, profile: FuzzProfile | None = None
 ) -> FuzzRecord:
@@ -276,6 +345,7 @@ def check_system(
     h = _Harness(system, profile)
     _check_hurwitz_backends(h)
     _check_witness(h)
+    _check_icp_engines(h)
     _check_candidates(h)
     if profile.metamorphic:
         from .metamorphic import metamorphic_checks

@@ -400,7 +400,7 @@ class PiecewiseTask(Task):
 
     def __init__(self, case_name, size, encoding, max_iterations,
                  max_boxes, conditions_scope, solver="hybrid",
-                 oracle_batch=True):
+                 oracle_batch=True, icp_backend="auto"):
         self.case_name = case_name
         self.size = size
         self.encoding = encoding
@@ -409,6 +409,7 @@ class PiecewiseTask(Task):
         self.conditions_scope = conditions_scope
         self.solver = solver
         self.oracle_batch = oracle_batch
+        self.icp_backend = icp_backend
 
     def key(self):
         return {"case": self.case_name, "encoding": self.encoding}
@@ -427,6 +428,7 @@ class PiecewiseTask(Task):
             system,
             conditions_scope=self.conditions_scope,
             max_boxes=self.max_boxes,
+            icp_backend=self.icp_backend,
         )
         return PiecewiseRecord(
             case=self.case_name,

@@ -8,9 +8,19 @@ feasibility, and the definiteness encodings used to validate Lyapunov
 candidates.
 """
 
+from .boxes import BoxArray, classify_boxes
 from .dpll import DpllSolver, tseitin_cnf
 from .encodings import SphereCheckOutcome, check_positive_definite_icp
-from .icp import Box, IcpResult, IcpSolver, IcpStatus, eval_poly_interval
+from .icp import (
+    ICP_BACKENDS,
+    Box,
+    IcpResult,
+    IcpSolver,
+    IcpStatus,
+    eval_poly_interval,
+    resolve_icp_backend,
+    split_linear,
+)
 from .interval import Interval
 from .linear import LinearConstraint, LinearResult, check_atoms_linear, solve_linear
 from .parser import ParsedScript, SmtLibParseError, parse_formula, parse_script
@@ -68,10 +78,15 @@ __all__ = [
     "to_dnf",
     "Interval",
     "Box",
+    "BoxArray",
+    "ICP_BACKENDS",
     "IcpSolver",
     "IcpResult",
     "IcpStatus",
+    "classify_boxes",
     "eval_poly_interval",
+    "resolve_icp_backend",
+    "split_linear",
     "LinearConstraint",
     "LinearResult",
     "solve_linear",

@@ -53,6 +53,7 @@ def check_positive_definite_icp(
     plus_det: bool = False,
     delta: float = 1e-7,
     max_boxes: int = 200_000,
+    backend: str = "auto",
 ) -> SphereCheckOutcome:
     """Decide ``matrix ≻ 0`` by refuting violations on unit-sphere faces.
 
@@ -70,7 +71,7 @@ def check_positive_definite_icp(
     variables = [Var(name) for name in names]
     form = quadratic_form_term(matrix, variables)
     violation = Atom(form, Relation.LT if plus_det else Relation.LE)
-    solver = IcpSolver(delta=delta, max_boxes=max_boxes)
+    solver = IcpSolver(delta=delta, max_boxes=max_boxes, backend=backend)
     total_boxes = 0
     undecided = False
     for face in range(n):

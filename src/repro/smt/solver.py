@@ -60,6 +60,7 @@ class SmtSolver:
 
     delta: float = 1e-7
     max_boxes: int = 200_000
+    icp_backend: str = "auto"
 
     def check(self, formula: Formula, box: Box | None = None) -> SmtResult:
         disjuncts = to_dnf(formula)
@@ -121,7 +122,11 @@ class SmtSolver:
                 ].index(r.status),
             )
             return worst
-        icp = IcpSolver(delta=self.delta, max_boxes=self.max_boxes)
+        icp = IcpSolver(
+            delta=self.delta,
+            max_boxes=self.max_boxes,
+            backend=self.icp_backend,
+        )
         result = icp.check(atoms, box)
         return SmtResult(
             result.status, result.witness, 1, result.boxes_explored

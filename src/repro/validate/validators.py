@@ -21,19 +21,24 @@ the paper compares:
 ==============  ====================================================
 
 The three exact validators accept a ``backend`` option
-(``"auto"|"fraction"|"int"|"modular"``, forwarded to
+(``"auto"|"fraction"|"int"|"gmpy2"|"modular"``, forwarded to
 :mod:`repro.exact.kernels`): ``run_validator(name, matrix,
 backend="int")`` decides the same verdict from integer kernels after a
 single denominator clearing, while ``backend="fraction"`` pins the
 historical Fraction oracle — the pair powers the differential tests.
+``"gmpy2"`` runs the same integer elimination on GMP ``mpz`` limbs when
+the optional gmpy2 package is installed and resolves silently to
+``"int"`` when it is not. The ICP validators accept ``icp_backend``
+(``"auto"|"scalar"|"batched"``) selecting the refuter engine.
 
 **Graceful degradation.** Verdicts must survive a flaky backend, so
 failures degrade along two chains (opt out with ``fallback=False``,
 the CLI's ``--no-fallback``):
 
 * a kernel backend that *raises* falls back ``modular -> int ->
-  fraction`` (:data:`repro.exact.kernels.KERNEL_FALLBACKS`) inside the
-  same validator;
+  fraction`` (and ``gmpy2 -> int -> fraction``; see
+  :data:`repro.exact.kernels.KERNEL_FALLBACKS`) inside the same
+  validator;
 * a validator whose every backend failed escalates to the independent
   ``sympy`` implementation (:data:`VALIDATOR_ESCALATION`).
 
@@ -150,10 +155,15 @@ def _icp_validator(plus_det: bool):
         matrix: RationalMatrix,
         max_boxes: int = 200_000,
         delta: float = 1e-7,
+        icp_backend: str = "auto",
         **_options,
     ):
         outcome = check_positive_definite_icp(
-            matrix, plus_det=plus_det, delta=delta, max_boxes=max_boxes
+            matrix,
+            plus_det=plus_det,
+            delta=delta,
+            max_boxes=max_boxes,
+            backend=icp_backend,
         )
         witness = None
         if outcome.counterexample is not None:

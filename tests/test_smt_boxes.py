@@ -1,0 +1,293 @@
+"""Differential tests for the batched ICP engine (repro.smt.boxes).
+
+The batched engine's contract is *exact replay*: on every input it must
+return the same status, the same witness point, the same witness box and
+the same search statistics as the scalar branch-and-prune it vectorizes.
+These tests enforce that bit-for-bit over hand-picked corner cases,
+hypothesis-generated constraint systems, and the ground-truth fuzzer's
+system generator.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import RationalMatrix
+from repro.smt import (
+    Box,
+    ICP_BACKENDS,
+    IcpSolver,
+    IcpStatus,
+    Interval,
+    Var,
+    check_positive_definite_icp,
+    classify_boxes,
+    polynomial_of,
+    quadratic_form_term,
+    resolve_icp_backend,
+)
+from repro.smt.boxes import BoxArray
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def both(atoms, box, **solver_args):
+    """Run scalar and batched solvers; assert identical results."""
+    scalar = IcpSolver(backend="scalar", **solver_args).check(atoms, box)
+    batched = IcpSolver(backend="batched", **solver_args).check(atoms, box)
+    assert batched.status is scalar.status
+    assert batched.witness == scalar.witness
+    if scalar.witness_box is None:
+        assert batched.witness_box is None
+    else:
+        assert batched.witness_box.intervals == scalar.witness_box.intervals
+    assert batched.boxes_explored == scalar.boxes_explored
+    assert batched.splits == scalar.splits
+    return scalar
+
+
+class TestBackendDispatch:
+    def test_known_backends(self):
+        assert ICP_BACKENDS == ("auto", "scalar", "batched")
+        for backend in ("scalar", "batched"):
+            assert resolve_icp_backend(backend) == backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            resolve_icp_backend("cuda")
+        with pytest.raises(KeyError):
+            IcpSolver(backend="cuda").check([(x) <= 0], Box.cube(["x"], 0, 1))
+
+    def test_auto_prefers_batched_with_numpy(self):
+        pytest.importorskip("numpy")
+        assert resolve_icp_backend("auto") == "batched"
+
+
+class TestCornerCases:
+    """Pinned scalar/batched equality on shapes that stress the kernels."""
+
+    def test_unsat_positive_poly(self):
+        result = both(
+            [(x * x + 1) <= 0], Box.cube(["x"], -10.0, 10.0)
+        )
+        assert result.status is IcpStatus.UNSAT
+
+    def test_sat_with_witness(self):
+        result = both(
+            [(x * x - 1) <= 0, (Fraction(1, 2) - x) <= 0],
+            Box.cube(["x"], -10.0, 10.0),
+        )
+        assert result.status is IcpStatus.SAT
+
+    def test_delta_sat_sqrt2(self):
+        result = both([(x * x - 2).eq(0)], Box.cube(["x"], 0.0, 2.0))
+        assert result.status is IcpStatus.DELTA_SAT
+
+    def test_budget_exhaustion(self):
+        result = both(
+            [(x * x - 2).eq(0)], Box.cube(["x"], 0.0, 2.0),
+            delta=1e-30, max_boxes=5,
+        )
+        assert result.status is IcpStatus.UNKNOWN
+
+    def test_budget_boundary_exactly_at_terminal(self):
+        # Sweep the budget across the discovery point of the terminal so
+        # both engines must agree on the UNKNOWN/DELTA_SAT boundary.
+        for budget in range(1, 45):
+            both(
+                [(x * x - 2).eq(0)], Box.cube(["x"], 0.0, 2.0),
+                max_boxes=budget,
+            )
+
+    def test_two_variables_circle(self):
+        circle = (x * x + y * y - 1).eq(0)
+        both(
+            [circle, (Fraction(9, 10) - x) <= 0, (Fraction(9, 10) - y) <= 0],
+            Box.cube(["x", "y"], -2.0, 2.0),
+        )
+
+    def test_strict_and_boundary(self):
+        box = Box.cube(["x"], 0.0, 1.0)
+        both([x < 0], box)
+        both([x <= 0], box)
+
+    def test_degenerate_interval_face(self):
+        p = RationalMatrix([[1, 2], [2, 1]])
+        form = quadratic_form_term(p, [x, y])
+        box = Box({"x": Interval(1.0, 1.0), "y": Interval(-1.0, 1.0)})
+        result = both([form <= 0], box)
+        assert result.status is IcpStatus.SAT
+
+    def test_half_infinite_box(self):
+        box = Box({"x": Interval(0.0, float("inf"))})
+        both([(x * x - 4) <= 0, (1 - x) <= 0], box)
+
+    def test_huge_coefficients_defer_to_scalar(self):
+        # 1e200-scale enclosures leave the guarded exactness band, so
+        # the batched engine must defer those boxes to the scalar step
+        # and still agree exactly.
+        huge = Fraction(10) ** 200
+        both(
+            [(huge * x * x - huge) <= 0, (Fraction(1, 2) - x) <= 0],
+            Box.cube(["x"], -2.0, 2.0),
+        )
+
+    def test_tiny_coefficients_defer_to_scalar(self):
+        tiny = Fraction(1, 10**200)
+        both(
+            [(tiny * x * x - tiny) <= 0, (Fraction(1, 2) - x) <= 0],
+            Box.cube(["x"], -2.0, 2.0),
+        )
+
+    def test_equality_contraction_paths(self):
+        both(
+            [(2 * x + 3 * y - 1).eq(0), (x - y) <= 0],
+            Box.cube(["x", "y"], -4.0, 4.0),
+        )
+
+    def test_disequality_split(self):
+        # NE atoms exercise the no-linear-plan path.
+        both(
+            [x.eq(0).negate(), x * x <= Fraction(1, 4)],
+            Box.cube(["x"], -1.0, 1.0),
+        )
+
+
+@st.composite
+def small_systems(draw):
+    """A conjunction of low-degree polynomial atoms over a small box."""
+    n_vars = draw(st.integers(1, 3))
+    variables = [x, y, z][:n_vars]
+    coeff = st.integers(-3, 3)
+
+    def poly(allow_quadratic=True):
+        terms = []
+        for v in variables:
+            c = draw(coeff)
+            if c:
+                terms.append(c * v)
+            if allow_quadratic:
+                c2 = draw(coeff)
+                if c2:
+                    terms.append(c2 * v * v)
+        c0 = draw(coeff)
+        base = terms[0] if terms else polynomial_of_zero()
+        for t in terms[1:]:
+            base = base + t
+        return base + c0
+
+    def polynomial_of_zero():
+        return variables[0] - variables[0]
+
+    n_atoms = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(n_atoms):
+        lhs = poly()
+        relation = draw(st.sampled_from(["le", "lt", "eq"]))
+        if relation == "le":
+            atoms.append(lhs <= 0)
+        elif relation == "lt":
+            atoms.append(lhs < 0)
+        else:
+            atoms.append(lhs.eq(0))
+    radius = draw(st.sampled_from([1.0, 2.0, 8.0]))
+    box = Box.cube([v.name for v in variables], -radius, radius)
+    return atoms, box
+
+
+class TestHypothesisDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(small_systems())
+    def test_batched_replays_scalar(self, system):
+        atoms, box = system
+        both(atoms, box, max_boxes=3000)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_systems(), st.integers(1, 40))
+    def test_budget_equivalence(self, system, budget):
+        atoms, box = system
+        both(atoms, box, max_boxes=budget)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(-4, 4), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_definiteness_encoding_agrees(self, rows):
+        matrix = RationalMatrix(rows).symmetrize()
+        scalar = check_positive_definite_icp(
+            matrix, max_boxes=20_000, backend="scalar"
+        )
+        batched = check_positive_definite_icp(
+            matrix, max_boxes=20_000, backend="batched"
+        )
+        assert batched.verdict == scalar.verdict
+        assert batched.counterexample == scalar.counterexample
+        assert batched.faces_checked == scalar.faces_checked
+        assert batched.boxes_explored == scalar.boxes_explored
+
+
+class TestOracleSystems:
+    """Scalar/batched equality on the ground-truth fuzzer's systems."""
+
+    @pytest.mark.parametrize("kind", ["stable", "unstable", "integer"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fuzzer_matrices_agree(self, kind, seed):
+        from repro.oracle import generate_system
+
+        system = generate_system(kind, 3, seed)
+        targets = [system.a.symmetrize()]
+        if system.witness_p is not None:
+            targets.append(system.witness_p)
+        for matrix in targets:
+            scalar = check_positive_definite_icp(
+                matrix, max_boxes=4000, backend="scalar"
+            )
+            batched = check_positive_definite_icp(
+                matrix, max_boxes=4000, backend="batched"
+            )
+            assert batched.verdict == scalar.verdict
+            assert batched.counterexample == scalar.counterexample
+            assert batched.boxes_explored == scalar.boxes_explored
+
+
+class TestClassifyBoxes:
+    def test_matches_scalar_classification(self):
+        from repro.smt.icp import prepare_atoms
+
+        atoms = [(x * x + y * y - 1) <= 0, (x + y) < 0]
+        prepared = prepare_atoms(atoms)
+        scalar_solver = IcpSolver(backend="scalar")
+        boxes = [
+            Box.cube(["x", "y"], -0.1, 0.1),        # satisfied
+            Box.cube(["x", "y"], 2.0, 3.0),         # infeasible
+            Box.cube(["x", "y"], -2.0, 2.0),        # undecided
+            Box({"x": Interval(-0.2, -0.1), "y": Interval(-0.2, -0.1)}),
+        ]
+        verdicts = classify_boxes(atoms, boxes)
+        scalar_names = {
+            "infeasible": "infeasible",
+            "satisfied": "satisfied",
+            "undecided": "undecided",
+        }
+        for box, verdict in zip(boxes, verdicts):
+            kind, _ = scalar_solver._classify(prepared, box)
+            assert verdict == scalar_names[kind]
+
+    def test_box_array_roundtrip(self):
+        boxes = [
+            Box({"b": Interval(0.0, 1.0), "a": Interval(-2.0, 3.0)}),
+            Box({"b": Interval(-1.0, 1.0), "a": Interval(0.0, 0.5)}),
+        ]
+        arr = BoxArray.from_boxes(boxes)
+        assert tuple(arr.names) == ("a", "b")
+        assert len(arr) == 2
+        back = arr.to_boxes()
+        for original, restored in zip(boxes, back):
+            for name in ("a", "b"):
+                assert restored[name] == original[name]

@@ -52,6 +52,60 @@ class TestEvalPolyInterval:
         enclosure = eval_poly_interval(polynomial_of(x - x + 5), Box.cube(["x"], 0, 1))
         assert enclosure.contains(5)
 
+    def test_power_table_leaves_enclosures_unchanged(self):
+        # Satellite regression: sharing a power table across monomials
+        # and constraints must reproduce the uncached enclosures
+        # exactly (the cached entries ARE the same __pow__ results).
+        polys = [
+            polynomial_of(x * x + y),
+            polynomial_of(3 * x * x * x - 2 * x * x + y * y),
+            polynomial_of(x * x * y * y - x * y + 7),
+        ]
+        box = Box({"x": Interval(-1.5, 2.0), "y": Interval(-0.25, 3.0)})
+        powers: dict = {}
+        for poly in polys:
+            plain = eval_poly_interval(poly, box)
+            shared = eval_poly_interval(poly, box, powers=powers)
+            assert shared == plain
+        # The table actually filled and is keyed by (variable, exponent).
+        assert ("x", 2) in powers
+        assert powers[("x", 2)] == box["x"] ** 2
+
+    def test_power_table_hits_skip_recomputation(self):
+        poly = polynomial_of(x * x + 2 * x * x * y)
+        box = Box({"x": Interval(-1.0, 1.0), "y": Interval(0.0, 2.0)})
+        sentinel = Interval(5.0, 6.0)
+        poisoned = {("x", 2): sentinel}
+        # A poisoned cache entry shows up in the result, proving the
+        # table is consulted instead of recomputing x**2 per monomial.
+        poisoned_result = eval_poly_interval(poly, box, powers=poisoned)
+        assert poisoned_result != eval_poly_interval(poly, box)
+
+
+class TestWidest:
+    def test_tie_breaks_to_sorted_name(self):
+        box = Box(
+            {
+                "b": Interval(0.0, 2.0),
+                "c": Interval(0.0, 1.0),
+                "a": Interval(-1.0, 1.0),
+            }
+        )
+        assert box.widest() == ("a", 2.0)
+        assert box.widest_variable() == "a"
+        assert box.max_width() == 2.0
+
+    def test_split_variable_tie_break_pinned(self):
+        # Satellite: the DFS split order is deterministic — equal widths
+        # split the lexicographically smallest candidate first, however
+        # the box dict happens to be ordered.
+        from repro.smt.icp import prepare_atoms
+
+        solver = IcpSolver(backend="scalar")
+        prepared = prepare_atoms([(x * x + y * y - 2) <= 0])
+        box = Box.cube(["y", "x"], -1.0, 1.0)
+        assert solver._pick_split_variable(box, prepared) == "x"
+
 
 class TestIcpDecisions:
     def test_unsat_positive_poly(self):
