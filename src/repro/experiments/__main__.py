@@ -35,6 +35,8 @@ import pathlib
 import sys
 import time
 
+import dataclasses
+
 from ..runner import (
     CampaignStats,
     Journal,
@@ -43,6 +45,7 @@ from ..runner import (
     resolve_jobs,
     write_bench,
 )
+from ..service.engine import CampaignEngine
 from .figure3 import render_figure3, run_figure3
 from .piecewise import render_piecewise, run_piecewise
 from .records import dump_records
@@ -50,15 +53,18 @@ from .table1 import render_sweep, render_table1, rounding_sweep, run_table1
 from .table2 import render_table2, run_table2
 
 
-def _runner_kwargs(args, timing, campaign):
-    return {
-        "jobs": args.jobs,
-        "task_deadline": args.task_deadline,
-        "timing": timing,
-        "journal": campaign.journal,
-        "retry": campaign.retry,
-        "stats": campaign.stats,
-    }
+def _engine(args, timing, campaign) -> CampaignEngine:
+    """One shared campaign engine per experiment run (see
+    :mod:`repro.service.engine`)."""
+    engine = CampaignEngine(
+        jobs=args.jobs,
+        task_deadline=args.task_deadline,
+        timing=timing,
+        journal=campaign.journal,
+        retry=campaign.retry,
+    )
+    engine.stats = campaign.stats
+    return engine
 
 
 class _Campaign:
@@ -79,17 +85,18 @@ class _Campaign:
 def _table1(args, timing, campaign) -> str:
     sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
     deadline = 5.0 if args.quick else args.eq_smt_deadline
+    engine = _engine(args, timing, campaign)
     records, candidates = run_table1(
         sizes=sizes, eq_smt_deadline=deadline, keep_candidates=True,
-        fallback=campaign.fallback, **_runner_kwargs(args, timing, campaign),
+        fallback=campaign.fallback, engine=engine,
     )
     text = render_table1(records)
     # The 10-sigfig validations were just computed: reuse them and only
-    # re-run the aggressive rounding levels (6 and 4).
+    # re-run the aggressive rounding levels (6 and 4). The sweep never
+    # honoured --task-deadline, so strip it from the shared engine.
     sweep = rounding_sweep(
-        candidates, base_records=records, jobs=args.jobs, timing=timing,
-        journal=campaign.journal, retry=campaign.retry, stats=campaign.stats,
-        fallback=campaign.fallback,
+        candidates, base_records=records, fallback=campaign.fallback,
+        engine=dataclasses.replace(engine, task_deadline=None),
     )
     text += "\n\n" + render_sweep(sweep)
     if args.json:
@@ -101,7 +108,7 @@ def _figure3(args, timing, campaign) -> str:
     sizes = (3, 5) if args.quick else (3, 5, 10, 15, 18)
     records = run_figure3(
         sizes=sizes, fallback=campaign.fallback,
-        **_runner_kwargs(args, timing, campaign),
+        engine=_engine(args, timing, campaign),
     )
     if args.json:
         dump_records(records, args.json)
@@ -114,7 +121,7 @@ def _piecewise(args, timing, campaign) -> str:
     records = run_piecewise(
         case_names=names, max_iterations=iterations,
         solver=args.solver, oracle_batch=args.oracle_batch == "on",
-        **_runner_kwargs(args, timing, campaign),
+        engine=_engine(args, timing, campaign),
     )
     if args.json:
         dump_records(records, args.json)
@@ -125,7 +132,7 @@ def _table2(args, timing, campaign) -> str:
     names = ("size3", "size5") if args.quick else ("size15", "size18")
     records = run_table2(
         case_names=names, fallback=campaign.fallback,
-        **_runner_kwargs(args, timing, campaign),
+        engine=_engine(args, timing, campaign),
     )
     if args.json:
         dump_records(records, args.json)

@@ -50,33 +50,40 @@ def run_figure3(
     retry=None,
     stats=None,
     fallback: bool = True,
+    engine=None,
 ) -> list[Figure3Record]:
     """Validate a shared candidate set with every registered validator.
 
     Each (candidate, validator) pair is one runner task, so the slow
     search-based validators no longer serialize the sweep when
     ``jobs > 1``. ``journal``/``retry``/``stats`` make the campaign
-    resumable; ``fallback=False`` disarms the degradation chains.
+    resumable; ``fallback=False`` disarms the degradation chains. An
+    explicit ``engine`` supersedes the individual runner knobs.
     """
-    from ..runner import Figure3Task, run_tasks
+    import dataclasses
 
+    from ..runner import Figure3Task
+    from ..service.engine import CampaignEngine
+
+    engine = CampaignEngine.ensure(
+        engine, jobs=jobs, task_deadline=task_deadline, timing=timing,
+        journal=journal, retry=retry, stats=stats,
+    )
     if size_caps is None:
         size_caps = DEFAULT_SIZE_CAPS
     if candidates is None:
         # A representative, quick-to-synthesize candidate set: eq-num and
-        # one LMI method per case/mode.
+        # one LMI method per case/mode. The synthesis stage historically
+        # ran without the per-task deadline (it only applies to the
+        # validation sweep), so strip it from the shared engine.
         from .records import MethodKey
 
         _, candidates = run_table1(
             sizes=sizes,
             methods=[MethodKey("eq-num"), MethodKey("lmi", "shift")],
             keep_candidates=True,
-            jobs=jobs,
-            timing=timing,
-            journal=journal,
-            retry=retry,
-            stats=stats,
             fallback=fallback,
+            engine=dataclasses.replace(engine, task_deadline=None),
         )
     tasks = []
     for (case_name, mode, method, backend), candidate in candidates.items():
@@ -96,10 +103,7 @@ def run_figure3(
                     validator=validator, options=options, fallback=fallback,
                 )
             )
-    outcomes = run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
-        journal=journal, retry=retry, stats=stats,
-    )
+    outcomes = engine.run(tasks)
     return [record for record in outcomes if record is not None]
 
 

@@ -34,6 +34,7 @@ def run_piecewise(
     journal=None,
     retry=None,
     stats=None,
+    engine=None,
 ) -> list[PiecewiseRecord]:
     """Run the synthesis+validation grid.
 
@@ -43,8 +44,10 @@ def run_piecewise(
     level-shift candidate finder); ``oracle_batch=False`` falls back to
     the per-block differential separation oracle. ``icp_backend``
     selects the validation refuter engine (``"auto"|"scalar"|"batched"``).
+    An explicit ``engine`` supersedes the individual runner knobs.
     """
-    from ..runner import PiecewiseTask, run_tasks
+    from ..runner import PiecewiseTask
+    from ..service.engine import CampaignEngine
 
     tasks = [
         PiecewiseTask(
@@ -57,10 +60,10 @@ def run_piecewise(
         for name in case_names
         for encoding in encodings
     ]
-    return run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
+    return CampaignEngine.ensure(
+        engine, jobs=jobs, task_deadline=task_deadline, timing=timing,
         journal=journal, retry=retry, stats=stats,
-    )
+    ).run(tasks)
 
 
 def render_piecewise(records: list[PiecewiseRecord]) -> str:

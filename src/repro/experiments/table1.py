@@ -44,6 +44,7 @@ def run_table1(
     retry=None,
     stats=None,
     fallback: bool = True,
+    engine=None,
 ) -> tuple[list[Table1Record], dict]:
     """Run the full synthesis+validation grid.
 
@@ -55,11 +56,14 @@ def run_table1(
     wall-clock kill; ``timing`` is an optional
     :class:`repro.runner.TimingCollector`. ``journal``/``retry``/
     ``stats`` make the campaign resumable (see :mod:`repro.runner`);
-    ``fallback=False`` disarms the validator degradation chains.
+    ``fallback=False`` disarms the validator degradation chains. An
+    explicit ``engine`` (:class:`repro.service.CampaignEngine`)
+    supersedes the individual runner knobs.
     """
     # Imported lazily: the runner's task specs import this package's
     # records module (see repro.runner.tasks).
-    from ..runner import Table1Task, run_tasks
+    from ..runner import Table1Task
+    from ..service.engine import CampaignEngine
 
     if methods is None:
         methods = method_rows()
@@ -75,10 +79,10 @@ def run_table1(
         for mode in MODES
         for key in methods
     ]
-    outcomes = run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
+    outcomes = CampaignEngine.ensure(
+        engine, jobs=jobs, task_deadline=task_deadline, timing=timing,
         journal=journal, retry=retry, stats=stats,
-    )
+    ).run(tasks)
     records: list[Table1Record] = []
     candidates: dict = {}
     for task, outcome in zip(tasks, outcomes):
@@ -137,6 +141,7 @@ def rounding_sweep(
     retry=None,
     stats=None,
     fallback: bool = True,
+    engine=None,
 ) -> list[Table1Record]:
     """Re-validate stored candidates at several rounding precisions.
 
@@ -146,7 +151,8 @@ def rounding_sweep(
     base record is reused instead of re-validated, so only the
     remaining levels actually run.
     """
-    from ..runner import RevalidateTask, run_tasks
+    from ..runner import RevalidateTask
+    from ..service.engine import CampaignEngine
 
     reuse: dict = {}
     for record in base_records or ():
@@ -171,10 +177,10 @@ def rounding_sweep(
                     fallback=fallback,
                 )
             )
-    outcomes = run_tasks(
-        tasks, jobs=jobs, collect=timing,
+    outcomes = CampaignEngine.ensure(
+        engine, jobs=jobs, timing=timing,
         journal=journal, retry=retry, stats=stats,
-    )
+    ).run(tasks)
     records = []
     for (case_name, mode, method, backend), _candidate in candidates.items():
         for sigfigs in sigfig_levels:

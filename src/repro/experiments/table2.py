@@ -33,12 +33,15 @@ def run_table2(
     retry=None,
     stats=None,
     fallback: bool = True,
+    engine=None,
 ) -> list[Table2Record]:
     """One runner task per (case, mode, method) cell; the shared
     per-(case, mode) geometry (switching surface, exact equilibrium) is
     rebuilt once per worker process (see
-    :func:`repro.runner.tasks._table2_context`)."""
-    from ..runner import Table2Task, run_tasks
+    :func:`repro.runner.tasks._table2_context`). An explicit ``engine``
+    supersedes the individual runner knobs."""
+    from ..runner import Table2Task
+    from ..service.engine import CampaignEngine
 
     if methods is None:
         methods = method_rows(include_eq_smt=False)
@@ -52,10 +55,10 @@ def run_table2(
         for mode in MODES
         for key in methods
     ]
-    return run_tasks(
-        tasks, jobs=jobs, task_deadline=task_deadline, collect=timing,
+    return CampaignEngine.ensure(
+        engine, jobs=jobs, task_deadline=task_deadline, timing=timing,
         journal=journal, retry=retry, stats=stats,
-    )
+    ).run(tasks)
 
 
 def render_table2(records: list[Table2Record]) -> str:

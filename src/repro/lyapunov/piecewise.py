@@ -307,7 +307,7 @@ def synthesize_piecewise(
             # the better joint margin (t_star = -worst violation).
             phase_started = time.perf_counter()
             polish = solve_lmi_barrier(
-                blocks,
+                None,
                 dimension=dim,
                 radius=initial_radius,
                 target_margin=0.0,
@@ -324,7 +324,7 @@ def synthesize_piecewise(
     else:
         phase_started = time.perf_counter()
         barrier = solve_lmi_barrier(
-            blocks,
+            None,
             dimension=dim,
             radius=initial_radius,
             target_margin=0.0,

@@ -32,6 +32,14 @@ checks four families of invariants, recording one dict per violation:
     permutations, positive scaling of ``P``, and LMI block reordering —
     see :mod:`repro.oracle.metamorphic`.
 
+``service-cache``
+    The certification service's performance layers must be invisible:
+    a cold compute, a cache hit and a same-shape batched screen must
+    all return certificates with identical stable payloads
+    (:meth:`repro.service.Certificate.identity`) as running the task
+    directly, and the repeat request must hit the cache instead of
+    recomputing.
+
 Synthesis failures (timeouts, infeasibility, defective-matrix modal
 errors) are recorded in :attr:`FuzzRecord.synth` and are never
 disagreements. Harness-level exceptions (a validator *crashing*) land
@@ -101,6 +109,12 @@ class FuzzProfile:
     icp_backends: tuple = ("scalar", "batched")
     icp_max_n: int = 3
     icp_max_boxes: int = 4000
+    service_checks: bool = True
+    service_max_n: int = 3
+    #: Run the service-cache family on every k-th system (by seed) —
+    #: its four extra synthesis+validation runs per system would
+    #: otherwise dominate a quick campaign's budget. 1 = every system.
+    service_sample: int = 4
 
     def spec(self) -> dict:
         """Plain-dict form (picklable task field / fingerprint input)."""
@@ -337,6 +351,59 @@ def _check_icp_engines(h: _Harness) -> None:
             )
 
 
+def _check_service_cache(h: _Harness) -> None:
+    """Direct, cold, cached and batched ``certify`` must agree bit for bit.
+
+    The certification service promises that its performance layers are
+    invisible: a cache hit, a single-flight coalesce and a same-shape
+    batched screen all return the *same* certificate (same ``P`` bytes,
+    verdicts and margins — :meth:`repro.service.Certificate.identity`)
+    as running the underlying :class:`~repro.service.CertifyTask`
+    directly. This family certifies exactly that on fuzzed systems,
+    including unstable ones (whose deterministic infeasible/failed
+    certificates must also cache and batch identically).
+    """
+    system, profile = h.system, h.profile
+    if (
+        not profile.service_checks
+        or system.n > profile.service_max_n
+        or system.seed % max(1, profile.service_sample)
+    ):
+        return
+    from ..service import CertificationService
+
+    a = system.a_float
+    try:
+        with CertificationService(
+            sigfigs=profile.sigfigs, fallback=False
+        ) as service:
+            direct = service.request(a).run()  # no cache in the loop
+            cold = service.certify(a)
+            warm = service.certify(a)
+        with CertificationService(
+            sigfigs=profile.sigfigs, fallback=False
+        ) as batch_service:
+            [batched] = batch_service.certify_many(
+                [batch_service.request(a)]
+            )
+    except Exception as exc:
+        h.record.checks += 1
+        h.record.harness_errors.append(
+            f"service-cache: {type(exc).__name__}: {exc}"
+        )
+        return
+    reference = direct.identity()
+    for label, certificate in (
+        ("cold", cold), ("warm-cache-hit", warm), ("batched", batched),
+    ):
+        h.expect("service-cache", label, reference, certificate.identity())
+    # The repeat request must be served from the cache, not recomputed.
+    h.expect("service-cache", "single-computation", 1, service.computations)
+    h.expect(
+        "service-cache", "cache-hit", True, service.store.memory_hits >= 1
+    )
+
+
 def check_system(
     system: GeneratedSystem, profile: FuzzProfile | None = None
 ) -> FuzzRecord:
@@ -347,6 +414,7 @@ def check_system(
     _check_witness(h)
     _check_icp_engines(h)
     _check_candidates(h)
+    _check_service_cache(h)
     if profile.metamorphic:
         from .metamorphic import metamorphic_checks
 

@@ -28,6 +28,9 @@ from .journal import (
     JOURNAL_SALT,
     Journal,
     JournalEntry,
+    decode_value,
+    encode_value,
+    register_record_type,
     task_fingerprint,
 )
 from .tasks import (
@@ -58,6 +61,9 @@ __all__ = [
     "JournalEntry",
     "JOURNAL_SALT",
     "task_fingerprint",
+    "encode_value",
+    "decode_value",
+    "register_record_type",
     "ChaosError",
     "ChaosPermanentError",
     "ChaosPolicy",

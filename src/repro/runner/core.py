@@ -98,12 +98,19 @@ class Task:
     def fingerprint_spec(self) -> tuple[str, dict]:
         """``(kind, fields)`` identifying this task for the journal.
 
-        The default — class name plus every instance attribute — is
-        correct for plain task specs; override to drop volatile fields
-        (e.g. measured wall times riding along inside a candidate) that
-        would spuriously change the fingerprint between runs.
+        The default — class name plus every public instance attribute —
+        is correct for plain task specs; override to drop volatile
+        fields (e.g. measured wall times riding along inside a
+        candidate) that would spuriously change the fingerprint between
+        runs. Underscore-prefixed attributes are always excluded: they
+        hold runtime bookkeeping (the memoized ``_fingerprint`` digest
+        itself, lazily attached caches) that must not feed back into
+        the content address.
         """
-        return type(self).__name__, dict(vars(self))
+        fields = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
+        return type(self).__name__, fields
 
     def on_attempt(self, attempt: int) -> None:
         """Called with the 1-based attempt number before each dispatch."""
@@ -198,10 +205,25 @@ class CampaignStats:
 def resolve_jobs(jobs: int | None) -> int:
     """``None`` means every *available* CPU; below 1 is clamped to 1.
 
+    Precedence: an explicit ``jobs`` argument (the ``--jobs`` CLI flag)
+    wins; with ``jobs=None`` a ``REPRO_JOBS`` environment variable, if
+    set to a parseable integer, sizes the pool instead (malformed
+    values are ignored); otherwise every available CPU is used. The
+    env override lets the service layer and the experiment drivers
+    size their pools consistently without plumbing a flag through
+    every entry point.
+
     Prefers ``os.sched_getaffinity`` over ``os.cpu_count`` so a
     container or cgroup that pins the process to a CPU subset (typical
     CI) gets a pool sized to what it may actually use, not to the host.
     """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env is not None:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
     if jobs is None:
         try:
             jobs = len(os.sched_getaffinity(0))

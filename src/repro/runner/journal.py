@@ -193,14 +193,30 @@ def task_fingerprint(task) -> str:
     :data:`JOURNAL_SALT`. Two processes building the same task spec get
     the same hex digest; any differing field (or a salt bump) yields a
     different one.
+
+    The digest is memoized on the task instance (``_fingerprint``):
+    task specs are immutable once built, and campaign hot loops — the
+    journal replay scan, the service cache, retry bookkeeping — look up
+    the same task repeatedly, so the tagged-JSON encode runs at most
+    once per instance. Underscore-prefixed attributes are excluded from
+    the default :meth:`~repro.runner.Task.fingerprint_spec`, so the
+    cache itself never feeds back into the digest.
     """
+    cached = getattr(task, "_fingerprint", None)
+    if cached is not None:
+        return cached
     kind, spec = task.fingerprint_spec()
     canonical = json.dumps(
         {"salt": JOURNAL_SALT, "kind": kind, "spec": encode_value(spec)},
         sort_keys=True,
         separators=(",", ":"),
     )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    try:
+        task._fingerprint = digest
+    except (AttributeError, TypeError):  # __slots__ or frozen tasks
+        pass
+    return digest
 
 
 # ----------------------------------------------------------------------

@@ -179,7 +179,9 @@ class RevalidateTask(Task):
         }
 
     def fingerprint_spec(self):
-        fields = dict(vars(self))
+        fields = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
         fields["candidate"] = _candidate_fingerprint(fields["candidate"])
         return type(self).__name__, fields
 
@@ -244,7 +246,9 @@ class Figure3Task(Task):
         }
 
     def fingerprint_spec(self):
-        fields = dict(vars(self))
+        fields = {
+            k: v for k, v in vars(self).items() if not k.startswith("_")
+        }
         fields["candidate"] = _candidate_fingerprint(fields["candidate"])
         return type(self).__name__, fields
 

@@ -19,12 +19,20 @@ from .ipm import solve_ipm
 from .problems import (
     LmiInfeasibleError,
     LyapunovLmiProblem,
+    candidate_screen_blocks,
     lyap_basis_tensor,
     lyapunov_lmi_blocks,
+    screen_candidates,
 )
 from .proj import solve_proj
 from .shift import solve_shift
-from .solve import BACKENDS, LmiSolution, best_alpha, solve_lyapunov_lmi
+from .solve import (
+    BACKENDS,
+    LmiSolution,
+    best_alpha,
+    prewarm_solver,
+    solve_lyapunov_lmi,
+)
 from .svec import basis_matrix, basis_tensor, smat, svec, svec_basis, svec_dim
 
 __all__ = [
@@ -33,6 +41,7 @@ __all__ = [
     "LmiSolution",
     "solve_lyapunov_lmi",
     "best_alpha",
+    "prewarm_solver",
     "BACKENDS",
     "solve_ipm",
     "solve_shift",
@@ -44,6 +53,9 @@ __all__ = [
     "BarrierResult",
     "solve_lmi_barrier",
     "lyap_basis_tensor",
+    "lyapunov_lmi_blocks",
+    "candidate_screen_blocks",
+    "screen_candidates",
     "svec",
     "smat",
     "svec_dim",

@@ -68,7 +68,7 @@ def _joint_margin(system: CompiledLmiSystem, x: np.ndarray) -> float:
 
 
 def solve_lmi_barrier(
-    blocks: list[LmiBlock],
+    blocks: list[LmiBlock] | None,
     dimension: int,
     target_margin: float = 0.0,
     radius: float = 1e3,
@@ -88,21 +88,32 @@ def solve_lmi_barrier(
     on stall, or after ``max_outer`` rounds. ``initial`` warm-starts the
     centering from an external iterate (clipped into the box);
     ``compiled`` reuses an existing :class:`CompiledLmiSystem` instead
-    of compiling ``blocks`` again.
+    of compiling ``blocks`` again — the compile already validated the
+    blocks, so ``blocks`` may then be ``None`` and no per-block check
+    is repeated (the hybrid pipeline's polish phase takes this path on
+    every call).
     """
     if dimension < 1:
         raise ValueError("dimension must be positive")
     if not 0 < pull < 1:
         raise ValueError("pull must be in (0, 1)")
-    for block in blocks:
-        if len(block.coefficients) != dimension:
+    if compiled is not None:
+        if compiled.dimension != dimension:
             raise ValueError(
-                f"block {block.name!r} has {len(block.coefficients)} "
-                f"coefficients, expected {dimension}"
+                f"compiled system has dimension {compiled.dimension}, "
+                f"expected {dimension}"
             )
-    system = compiled if compiled is not None else CompiledLmiSystem(
-        blocks, dimension
-    )
+        system = compiled
+    else:
+        if blocks is None:
+            raise ValueError("blocks is required without a compiled system")
+        for block in blocks:
+            if len(block.coefficients) != dimension:
+                raise ValueError(
+                    f"block {block.name!r} has {len(block.coefficients)} "
+                    f"coefficients, expected {dimension}"
+                )
+        system = CompiledLmiSystem(blocks, dimension)
     # Margins are folded at evaluation time: every shifted block is
     # G_j(x) = F_j(x) - (margin_j + t) I.
 

@@ -26,6 +26,8 @@ __all__ = [
     "LmiInfeasibleError",
     "lyap_basis_tensor",
     "lyapunov_lmi_blocks",
+    "candidate_screen_blocks",
+    "screen_candidates",
 ]
 
 
@@ -231,3 +233,65 @@ def lyapunov_lmi_blocks(
         name="decay",
     )
     return [floor, decay]
+
+
+# ----------------------------------------------------------------------
+# Batched candidate screening (the service layer's same-shape batching)
+# ----------------------------------------------------------------------
+
+def candidate_screen_blocks(problem: LyapunovLmiProblem, p: np.ndarray) -> list:
+    """The fixed-candidate feasibility check of ``(problem, p)`` as blocks.
+
+    With ``P`` fixed, the two Lyapunov constraints collapse to constant
+    LMI blocks: ``P - nu_eff I ⪰ 0`` (at margin ``nu_effective``) and
+    ``-(A^T P + P A + alpha P) ⪰ margin I``. Expressing them as
+    :class:`~repro.sdp.LmiBlock`\\ s (decision dimension 1, zero
+    coefficient) lets :class:`~repro.sdp.CompiledLmiSystem` stack many
+    candidates' blocks by matrix size and resolve them in one batched
+    eigh / Cholesky pass — NumPy's gufunc ``eigh`` applies LAPACK per
+    stacked matrix, so the batched margins are bit-identical to
+    screening each candidate alone through the same compiled path.
+    """
+    from .generic import LmiBlock
+
+    p = np.asarray(p, dtype=float)
+    n = problem.n
+    if p.shape != (n, n):
+        raise ValueError(f"candidate shape {p.shape} != ({n}, {n})")
+    zero = np.zeros((n, n))
+    floor = LmiBlock(
+        f0=p, coefficients=[zero],
+        margin=problem.nu_effective, name="floor",
+    )
+    decay = LmiBlock(
+        f0=-problem.lyap_operator(p), coefficients=[zero],
+        margin=problem.margin, name="decay",
+    )
+    return [floor, decay]
+
+
+def screen_candidates(items) -> list[tuple[float, float]]:
+    """Constraint margins for many ``(problem, p)`` pairs in one pass.
+
+    Returns one ``(floor_margin, decay_margin)`` tuple per item —
+    nonnegative means feasible, matching
+    :meth:`LyapunovLmiProblem.constraint_margins` semantics (the
+    eigenvalues here come from the compiled system's batched ``eigh``
+    rather than ``eigvalsh``; both service paths — per-request and
+    batched — route through this function, so their margins agree
+    bit for bit).
+    """
+    from .generic import CompiledLmiSystem
+
+    items = list(items)
+    if not items:
+        return []
+    blocks = []
+    for problem, p in items:
+        blocks.extend(candidate_screen_blocks(problem, p))
+    system = CompiledLmiSystem(blocks, dimension=1)
+    violations = system.violations(np.zeros(1))
+    return [
+        (-float(violations[2 * i]), -float(violations[2 * i + 1]))
+        for i in range(len(items))
+    ]

@@ -1,0 +1,68 @@
+"""Async front for the certification service.
+
+Wraps a (thread-safe) :class:`repro.service.CertificationService` with
+an :mod:`asyncio` submission queue:
+
+* **backpressure** — at most ``max_pending`` requests may be admitted
+  concurrently (an ``asyncio.Semaphore``); further ``certify`` calls
+  await a slot instead of piling unbounded work onto the pool;
+* **non-blocking submission** — ``submit`` runs in a worker thread
+  (``asyncio.to_thread``), because without a warm pool the service
+  computes inline and would otherwise stall the event loop;
+* **per-request deadlines** — forwarded to the pool's deadline/retry
+  machinery (pooled mode), exactly like the runner's ``task_deadline``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["AsyncCertificationService"]
+
+
+class AsyncCertificationService:
+    """``await``-able facade over a :class:`CertificationService`.
+
+    The wrapped service (and its store/pool) is owned by the caller;
+    closing this facade does not close it. All cache, dedup and
+    batching semantics are the synchronous service's — two concurrent
+    ``certify`` awaits with identical requests still coalesce onto one
+    computation.
+    """
+
+    def __init__(self, service, max_pending: int = 64):
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.service = service
+        self.max_pending = max_pending
+        self._semaphore = asyncio.Semaphore(max_pending)
+
+    async def certify(self, a, deadline: float | None = None, **kwargs):
+        """Certify one system; resolves to a :class:`Certificate`."""
+        async with self._semaphore:
+            future = await asyncio.to_thread(
+                self.service.submit, a, deadline=deadline, **kwargs
+            )
+            return await asyncio.wrap_future(future)
+
+    async def certify_many(self, requests, deadline: float | None = None):
+        """Certify many systems through one batched screen pass."""
+        async with self._semaphore:
+            return await asyncio.to_thread(
+                self.service.certify_many, requests, deadline
+            )
+
+    async def gather(self, requests, deadline: float | None = None):
+        """Concurrent single-request path: one ``certify`` per request.
+
+        Unlike :meth:`certify_many` (one batch task), each request is
+        admitted through the backpressure gate independently — the
+        shape of a real request stream. Identical requests coalesce
+        via the service's single-flight dedup.
+        """
+        return await asyncio.gather(
+            *(
+                self.certify(task, deadline=deadline)
+                for task in requests
+            )
+        )

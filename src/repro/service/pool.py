@@ -1,0 +1,404 @@
+"""Persistent warm-worker pool (the service's execution layer).
+
+:func:`repro.runner.run_tasks` spins its pool up per campaign and tears
+it down after; a serving layer cannot afford that. :class:`WarmPool`
+keeps the same shared-nothing workers (:func:`repro.runner.core._spawn_worker`
+/ ``_worker_loop`` — the identical ``(index, task) -> (index, status,
+payload)`` pipe protocol) resident across requests:
+
+* every fresh worker runs a **warm-up task** before it takes requests,
+  precompiling the svec bases, the Lyapunov coefficient tensors and
+  (optionally) the exact closed-loop mode matrices of named benchmark
+  cases — the per-process ``lru_cache``\\ s that dominate cold-request
+  latency;
+* a dispatcher thread multiplexes submissions onto idle workers and
+  enforces **per-request deadlines** with the runner's semantics: the
+  worker is terminated, a fresh (re-warmed) worker replaces it, and
+  the request retries under the :class:`repro.runner.RetryPolicy`
+  until its attempts are exhausted;
+* a worker that **dies mid-request** (segfault, ``os._exit``, chaos
+  kill) is detected the same way the runner detects it — reply pipe
+  readable or process dead without a reply — and the request retries
+  on a fresh warm worker, with every attempt's worker pid recorded in
+  the outcome's provenance.
+
+Futures resolve to a :class:`PoolOutcome` — ``(result, attempts,
+workers)`` — so callers (the certification service) can attach
+execution provenance without the pool knowing anything about
+certificates.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_ready
+
+from ..runner import RetryPolicy, Task
+from ..runner.core import _POLL_INTERVAL, _spawn_worker
+
+__all__ = ["WarmPool", "PoolOutcome", "PoolDeadlineError", "WarmupTask"]
+
+
+class PoolDeadlineError(TimeoutError):
+    """A request exceeded its deadline on every allowed attempt."""
+
+
+@dataclass
+class PoolOutcome:
+    """What a pool future resolves to: the task result + provenance."""
+
+    result: object
+    attempts: int
+    workers: list = field(default_factory=list)
+
+
+class WarmupTask(Task):
+    """Pre-populate a worker's per-process caches before it serves.
+
+    ``sizes`` runs :func:`repro.sdp.prewarm_solver` per size — svec
+    basis tensors, the Lyapunov coefficient tensor of a stable probe
+    matrix, and the batched screen's first-call LAPACK dispatch;
+    ``cases`` warms the exact closed-loop mode matrices of named
+    benchmark cases (:func:`repro.runner.tasks._exact_mode_matrix`),
+    the cost that dominates cold exact validation.
+    """
+
+    def __init__(self, sizes=(), cases=()):
+        self.sizes = list(sizes)
+        self.cases = list(cases)
+
+    def run(self):
+        import os
+
+        from ..sdp import prewarm_solver
+
+        for n in self.sizes:
+            prewarm_solver(n)
+        if self.cases:
+            from ..engine import MODES
+            from ..runner.tasks import _exact_mode_matrix
+
+            for case_name in self.cases:
+                for mode in MODES:
+                    _exact_mode_matrix(case_name, mode)
+        return os.getpid()
+
+
+class _Request:
+    __slots__ = ("task", "deadline", "future", "attempts", "workers",
+                 "warmup")
+
+    def __init__(self, task, deadline, future, warmup=False):
+        self.task = task
+        self.deadline = deadline
+        self.future = future
+        self.attempts = 0
+        self.workers: list = []
+        self.warmup = warmup
+
+
+class WarmPool:
+    """A persistent pool of pre-warmed worker processes.
+
+    ``jobs=None`` resolves via :func:`repro.runner.resolve_jobs`
+    (honouring ``REPRO_JOBS``); ``retry`` defaults to one retry so a
+    single worker death never surfaces to the caller. ``warm_sizes`` /
+    ``warm_cases`` configure the :class:`WarmupTask` each fresh worker
+    runs before serving. The pool starts lazily on first
+    :meth:`submit` and must be :meth:`close`\\ d (or used as a context
+    manager).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        retry: RetryPolicy | int | None = 1,
+        warm_sizes=(),
+        warm_cases=(),
+    ):
+        from ..runner.core import _resolve_retry, resolve_jobs
+
+        self.jobs = resolve_jobs(jobs)
+        self.policy = _resolve_retry(retry)
+        self.warm_sizes = tuple(warm_sizes)
+        self.warm_cases = tuple(warm_cases)
+        self._inbox: queue.Queue = queue.Queue()
+        self._shutdown = threading.Event()
+        self._started = False
+        self._start_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:
+            self._context = multiprocessing.get_context()
+        self.tasks_done = 0
+        self.worker_deaths = 0
+        self.deadline_kills = 0
+        self.respawns = 0
+        self.inline_fallbacks = 0
+
+    # -- public API ----------------------------------------------------
+
+    def submit(self, task: Task, deadline: float | None = None):
+        """Queue ``task``; returns a future resolving to a
+        :class:`PoolOutcome` (or raising on exhausted retries)."""
+        from concurrent.futures import Future
+
+        if self._shutdown.is_set():
+            raise RuntimeError("pool is closed")
+        self._ensure_started()
+        request = _Request(task, deadline, Future())
+        self._inbox.put(request)
+        return request.future
+
+    def counters(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "tasks_done": self.tasks_done,
+            "worker_deaths": self.worker_deaths,
+            "deadline_kills": self.deadline_kills,
+            "respawns": self.respawns,
+            "inline_fallbacks": self.inline_fallbacks,
+        }
+
+    def close(self) -> None:
+        if not self._started or self._shutdown.is_set():
+            self._shutdown.set()
+            return
+        self._shutdown.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- dispatcher ----------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        with self._start_lock:
+            if self._started:
+                return
+            self._started = True
+            self._thread = threading.Thread(
+                target=self._loop, name="warm-pool-dispatcher", daemon=True
+            )
+            self._thread.start()
+
+    def _spawn_warm(self):
+        """A fresh worker with its warm-up request already in flight."""
+        worker = _spawn_worker(self._context)
+        if self.warm_sizes or self.warm_cases:
+            warmup = _Request(
+                WarmupTask(self.warm_sizes, self.warm_cases),
+                deadline=None, future=None, warmup=True,
+            )
+            try:
+                worker.connection.send((0, warmup.task))
+            except Exception:
+                return worker  # warm-up is best-effort
+            worker.index, worker.task = 0, warmup
+            worker.started = time.monotonic()
+        return worker
+
+    def _loop(self) -> None:
+        workers = []
+        pending: deque[_Request] = deque()
+        try:
+            for _ in range(self.jobs):
+                try:
+                    workers.append(self._spawn_warm())
+                except (OSError, ValueError):
+                    break
+            while True:
+                self._drain_inbox(pending)
+                if (
+                    self._shutdown.is_set()
+                    and not pending
+                    and not any(w.busy for w in workers)
+                    and self._inbox.empty()
+                ):
+                    break
+                if not workers:
+                    # Pool unusable: degrade to in-thread execution so
+                    # submissions still complete.
+                    while pending:
+                        self._run_inline(pending.popleft())
+                    if self._shutdown.is_set() and self._inbox.empty():
+                        break
+                    self._drain_inbox(pending, block=True)
+                    continue
+                for worker in workers:
+                    if not worker.busy and pending:
+                        self._dispatch(worker, pending)
+                busy = [w for w in workers if w.busy]
+                if not busy:
+                    self._drain_inbox(pending, block=True)
+                    continue
+                ready = _wait_ready(
+                    [w.connection for w in busy], timeout=_POLL_INTERVAL
+                )
+                now = time.monotonic()
+                for worker in busy:
+                    if worker.connection in ready:
+                        if not self._collect(worker, pending):
+                            # Ready but unreadable: the worker died (or
+                            # its pipe tore) mid-request.
+                            self._on_death(worker, pending)
+                            workers = self._replace(
+                                workers, worker, force=True
+                            )
+                    elif not worker.process.is_alive():
+                        if not self._collect(worker, pending):
+                            self._on_death(worker, pending)
+                        workers = self._replace(workers, worker)
+                    elif self._overdue(worker, now):
+                        self._on_deadline(worker, now, pending)
+                        workers = self._replace(workers, worker)
+        finally:
+            for worker in workers:
+                worker.stop()
+            # Anything still queued after shutdown resolves inline so no
+            # future is ever left dangling.
+            self._drain_inbox(pending)
+            while pending:
+                self._run_inline(pending.popleft())
+
+    def _drain_inbox(self, pending: deque, block: bool = False) -> None:
+        try:
+            timeout = _POLL_INTERVAL if block else None
+            while True:
+                pending.append(
+                    self._inbox.get(block=block, timeout=timeout)
+                )
+                block = False  # only the first get may wait
+        except queue.Empty:
+            pass
+
+    def _dispatch(self, worker, pending: deque) -> None:
+        request = pending.popleft()
+        request.attempts += 1
+        try:
+            request.task.on_attempt(request.attempts)
+        except Exception:
+            pass
+        try:
+            worker.connection.send((0, request.task))
+        except Exception:
+            # Unpicklable task or torn pipe: run it in this thread.
+            self._run_inline(request)
+            return
+        request.workers.append(worker.process.pid)
+        worker.index, worker.task = 0, request
+        worker.started = time.monotonic()
+
+    def _overdue(self, worker, now: float) -> bool:
+        request = worker.task
+        return (
+            not request.warmup
+            and request.deadline is not None
+            and now - worker.started > request.deadline
+        )
+
+    # -- completion paths ----------------------------------------------
+
+    def _collect(self, worker, pending: deque) -> bool:
+        """Receive one reply if available; ``True`` on success."""
+        try:
+            if not worker.connection.poll():
+                return False
+            _index, status, payload = worker.connection.recv()
+        except (EOFError, OSError):
+            return False
+        request = worker.task
+        worker.clear()
+        if request.warmup:
+            return True
+        if status == "ok":
+            self.tasks_done += 1
+            request.future.set_result(
+                PoolOutcome(payload, request.attempts, request.workers)
+            )
+            return True
+        if payload.get("transient") and self._may_retry(request):
+            pending.append(request)
+            return True
+        request.future.set_exception(
+            RuntimeError(payload.get("exc", "task error"))
+        )
+        return True
+
+    def _may_retry(self, request: _Request) -> bool:
+        return request.attempts <= self.policy.retries
+
+    def _on_death(self, worker, pending: deque) -> None:
+        """Worker died without reporting: retry on a fresh warm worker."""
+        request = worker.task
+        worker.clear()
+        self.worker_deaths += 1
+        if request.warmup:
+            return
+        if self._may_retry(request):
+            pending.append(request)
+        else:
+            self._run_inline(request)
+
+    def _on_deadline(self, worker, now: float, pending: deque) -> None:
+        request = worker.task
+        elapsed = now - worker.started
+        worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        worker.clear()
+        self.deadline_kills += 1
+        if request.warmup:
+            return
+        if self._may_retry(request):
+            # The retry gets a fresh clock on a fresh worker; its
+            # deadline still applies per attempt.
+            pending.appendleft(request)
+        else:
+            request.future.set_exception(
+                PoolDeadlineError(
+                    f"deadline exceeded ({elapsed:.3g}s"
+                    f" > {request.deadline:.3g}s)"
+                    f" after {request.attempts} attempt(s)"
+                )
+            )
+
+    def _replace(self, workers, dead, force: bool = False):
+        """Swap a dead/stopped worker for a fresh warmed one."""
+        if dead.process.is_alive() and not force:
+            return workers
+        remaining = [w for w in workers if w is not dead]
+        dead.stop()
+        if not self._shutdown.is_set():
+            try:
+                remaining.append(self._spawn_warm())
+                self.respawns += 1
+            except (OSError, ValueError):
+                pass
+        return remaining
+
+    def _run_inline(self, request: _Request) -> None:
+        """Last-resort in-thread execution (pool unusable)."""
+        if request.warmup:
+            return
+        self.inline_fallbacks += 1
+        request.attempts += 1
+        request.workers.append(None)
+        try:
+            result = request.task.run()
+        except BaseException as exc:
+            request.future.set_exception(exc)
+            return
+        self.tasks_done += 1
+        request.future.set_result(
+            PoolOutcome(result, request.attempts, request.workers)
+        )

@@ -49,6 +49,23 @@ class TestBarrier:
             solve_lmi_barrier([], dimension=0)
         with pytest.raises(ValueError):
             solve_lmi_barrier([diag_block([1], [[1]])], dimension=2)
+        with pytest.raises(ValueError):
+            solve_lmi_barrier(None, dimension=1)  # no blocks, no compiled
+
+    def test_compiled_only_matches_blocks_path(self):
+        from repro.sdp import CompiledLmiSystem
+
+        blocks = [
+            diag_block([-0.5], [[1]], name="lower"),
+            diag_block([2.0], [[-1]], name="upper"),
+        ]
+        compiled = CompiledLmiSystem(blocks, dimension=1)
+        direct = solve_lmi_barrier(blocks, dimension=1)
+        reused = solve_lmi_barrier(None, dimension=1, compiled=compiled)
+        assert reused.t_star == direct.t_star
+        assert np.array_equal(reused.x, direct.x)
+        with pytest.raises(ValueError):
+            solve_lmi_barrier(None, dimension=2, compiled=compiled)
 
     def test_lyapunov_block_system(self):
         """Same cross-check as the ellipsoid: find P > 0 with
