@@ -1,0 +1,159 @@
+"""Shard-supervisor benchmarks: steal/merge overhead and merge throughput.
+
+The fault-tolerance machinery (per-shard journals, heartbeat leases,
+windowed dispatch with work-stealing, deterministic merge) must stay
+cheap when nothing goes wrong: a clean 2-shard campaign is pinned at
+<= 10% overhead against the same journaled workload on the classic
+2-worker pool, and ``merge_journals`` over ~10^4 synthetic lines is
+pinned below a generous wall bound. Results land in a ``"shard"``
+section of ``BENCH_experiments.json``. ``REPRO_PERF_SOFT=1``
+(shared/noisy CI runners) demotes a missed pin to a loose sanity floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.runner import (
+    Journal,
+    Task,
+    journal_digest,
+    merge_journals,
+    run_sharded,
+    run_tasks,
+    write_section,
+)
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_experiments.json"
+)
+
+N_TASKS = 40
+TASK_SLEEP_S = 0.025
+#: Clean-path pin: sharded wall <= 1.10x the pooled wall (the ISSUE's
+#: "steal/merge overhead < 10%" acceptance bar).
+OVERHEAD_BOUND = 0.10
+#: REPRO_PERF_SOFT floor: 50% — catches only gross regressions.
+SOFT_OVERHEAD_BOUND = 0.50
+
+MERGE_LINES = 10_000
+MERGE_FILES = 4
+MERGE_WALL_BOUND_S = 2.0
+SOFT_MERGE_WALL_BOUND_S = 10.0
+
+
+class SleepTask(Task):
+    """A uniform stand-in for a validation task: fixed small sleep, so
+    the two schedulers see an identical, perfectly divisible load."""
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def key(self):
+        return {"case": f"shardbench{self.index}"}
+
+    def run(self):
+        time.sleep(TASK_SLEEP_S)
+        return self.index
+
+
+def _tasks():
+    return [SleepTask(i) for i in range(N_TASKS)]
+
+
+def _pooled_wall(tmp: pathlib.Path, run: int) -> float:
+    path = tmp / f"pooled{run}.jsonl"
+    start = time.perf_counter()
+    with Journal(path) as journal:
+        results = run_tasks(_tasks(), jobs=2, journal=journal)
+    elapsed = time.perf_counter() - start
+    assert results == list(range(N_TASKS))
+    return elapsed
+
+
+def _sharded_wall(tmp: pathlib.Path, run: int) -> float:
+    path = tmp / f"sharded{run}.jsonl"
+    start = time.perf_counter()
+    results = run_sharded(
+        _tasks(), shards=2, journal=path, heartbeat_s=0.1
+    )
+    elapsed = time.perf_counter() - start
+    assert results == list(range(N_TASKS))
+    return elapsed
+
+
+def test_clean_shard_overhead_and_merge_throughput_write_bench():
+    soft = bool(os.environ.get("REPRO_PERF_SOFT"))
+    with tempfile.TemporaryDirectory() as tmp_str:
+        tmp = pathlib.Path(tmp_str)
+
+        # Warm-up both schedulers (process-pool spawn, imports), then
+        # interleave and keep best-of-3 per configuration.
+        _pooled_wall(tmp, 99)
+        _sharded_wall(tmp, 99)
+        pooled, sharded = float("inf"), float("inf")
+        for run in range(3):
+            pooled = min(pooled, _pooled_wall(tmp, run))
+            sharded = min(sharded, _sharded_wall(tmp, run))
+        overhead = max(0.0, sharded - pooled) / pooled
+        bound = SOFT_OVERHEAD_BOUND if soft else OVERHEAD_BOUND
+        assert overhead <= bound, (
+            f"sharded overhead {overhead:.1%} exceeds {bound:.0%} "
+            f"({sharded:.3f}s vs pooled {pooled:.3f}s)"
+        )
+
+        # merge_journals throughput over ~10^4 synthetic lines.
+        paths = []
+        for shard in range(MERGE_FILES):
+            lines = []
+            for i in range(shard, MERGE_LINES, MERGE_FILES):
+                lines.append(
+                    json.dumps(
+                        {
+                            "v": 1, "fp": f"{i:016x}", "kind": "T",
+                            "status": "ok", "attempts": 1, "error": None,
+                            "result": [i, i * 2, "payload" * 4],
+                        },
+                        separators=(",", ":"),
+                    ).encode()
+                    + b"\n"
+                )
+            path = tmp / f"merge.shard{shard}"
+            path.write_bytes(b"".join(lines))
+            paths.append(path)
+        out = tmp / "merge.jsonl"
+        start = time.perf_counter()
+        merged = merge_journals(paths, out=out)
+        merge_wall = time.perf_counter() - start
+        assert len(merged) == MERGE_LINES
+        digest = journal_digest(out)
+        merge_bound = SOFT_MERGE_WALL_BOUND_S if soft else MERGE_WALL_BOUND_S
+        assert merge_wall < merge_bound, (
+            f"merging {MERGE_LINES} lines took {merge_wall:.2f}s "
+            f"(bound {merge_bound:.1f}s)"
+        )
+
+    data = write_section(
+        BENCH_PATH,
+        "shard",
+        {
+            "tasks": N_TASKS,
+            "task_sleep_s": TASK_SLEEP_S,
+            "pooled_jobs2_wall_s": pooled,
+            "sharded_2_wall_s": sharded,
+            "relative_overhead": overhead,
+            "overhead_bound": OVERHEAD_BOUND,
+            "merge_lines": MERGE_LINES,
+            "merge_files": MERGE_FILES,
+            "merge_wall_s": merge_wall,
+            "merge_lines_per_s": MERGE_LINES / max(merge_wall, 1e-9),
+            "merge_digest": digest,
+        },
+    )
+    assert data["schema"] == "repro-bench/2"
+    on_disk = json.loads(BENCH_PATH.read_text())
+    assert on_disk["shard"]["merge_lines"] == MERGE_LINES

@@ -34,6 +34,7 @@ def run_piecewise(
     journal=None,
     retry=None,
     stats=None,
+    shards=None,
     engine=None,
 ) -> list[PiecewiseRecord]:
     """Run the synthesis+validation grid.
@@ -62,7 +63,7 @@ def run_piecewise(
     ]
     return CampaignEngine.ensure(
         engine, jobs=jobs, task_deadline=task_deadline, timing=timing,
-        journal=journal, retry=retry, stats=stats,
+        journal=journal, retry=retry, stats=stats, shards=shards,
     ).run(tasks)
 
 

@@ -32,6 +32,7 @@ def run_table2(
     journal=None,
     retry=None,
     stats=None,
+    shards=None,
     fallback: bool = True,
     engine=None,
 ) -> list[Table2Record]:
@@ -57,7 +58,7 @@ def run_table2(
     ]
     return CampaignEngine.ensure(
         engine, jobs=jobs, task_deadline=task_deadline, timing=timing,
-        journal=journal, retry=retry, stats=stats,
+        journal=journal, retry=retry, stats=stats, shards=shards,
     ).run(tasks)
 
 

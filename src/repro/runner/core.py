@@ -170,10 +170,17 @@ class CampaignStats:
     """Per-campaign counters for the summary line (and the CLI).
 
     ``executed`` counts tasks that actually ran this run; ``replayed``
-    counts journal hits; ``retried_tasks``/``retry_attempts`` track the
-    retry machinery; ``degraded`` counts tasks whose result records a
-    backend/validator fallback; ``journal_errors`` counts outcomes that
-    could not be journaled (the campaign continues regardless).
+    counts journal hits; ``retried_tasks``/``retry_attempts`` track
+    *policy* retries — a task that raised a transient error and was
+    re-attempted. ``requeued_tasks``/``requeue_attempts`` count tasks
+    re-dispatched because the *infrastructure* failed under them — a
+    worker death, a deadline kill, or (in sharded campaigns) a whole
+    shard declared dead — which used to be folded into the retry
+    counters and is now reported distinctly. ``stolen_tasks`` counts
+    tasks work-stolen from a busy shard's backlog onto an idle shard.
+    ``degraded`` counts tasks whose result records a backend/validator
+    fallback; ``journal_errors`` counts outcomes that could not be
+    journaled (the campaign continues regardless).
     """
 
     total: int = 0
@@ -181,6 +188,9 @@ class CampaignStats:
     replayed: int = 0
     retried_tasks: int = 0
     retry_attempts: int = 0
+    requeued_tasks: int = 0
+    requeue_attempts: int = 0
+    stolen_tasks: int = 0
     degraded: int = 0
     errors: int = 0
     timeouts: int = 0
@@ -195,11 +205,36 @@ class CampaignStats:
             f"{self.degraded} degraded",
             f"{self.errors} errors",
         ]
+        if self.requeued_tasks:
+            parts.insert(
+                4,
+                f"{self.requeued_tasks} requeued "
+                f"(+{self.requeue_attempts} attempts)",
+            )
+        if self.stolen_tasks:
+            parts.append(f"{self.stolen_tasks} stolen")
         if self.timeouts:
             parts.append(f"{self.timeouts} timeouts")
         if self.journal_errors:
             parts.append(f"{self.journal_errors} journal write failures")
         return "campaign: " + ", ".join(parts)
+
+    def counters(self) -> dict:
+        """Plain-dict snapshot for the timing artifact."""
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "replayed": self.replayed,
+            "retried_tasks": self.retried_tasks,
+            "retry_attempts": self.retry_attempts,
+            "requeued_tasks": self.requeued_tasks,
+            "requeue_attempts": self.requeue_attempts,
+            "stolen_tasks": self.stolen_tasks,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "journal_errors": self.journal_errors,
+        }
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -292,6 +327,7 @@ class _Run:
         self.stats = stats
         self.fingerprints: list[str | None] = [None] * len(tasks)
         self.attempts: dict[int, int] = {}
+        self.requeues: dict[int, int] = {}
         self.walls: dict[int, float] = {}
 
     # -- journal replay ------------------------------------------------
@@ -328,6 +364,12 @@ class _Run:
         """Is another attempt allowed after the current one failed?"""
         return self.attempts.get(index, 1) <= self.policy.retries
 
+    def note_requeue(self, index: int) -> None:
+        """Classify the task's next attempt as an infrastructure
+        requeue (worker death, deadline kill) rather than a policy
+        retry, so the two are reported distinctly."""
+        self.requeues[index] = self.requeues.get(index, 0) + 1
+
     def spend(self, index: int, wall: float) -> None:
         self.walls[index] = self.walls.get(index, 0.0) + wall
 
@@ -339,16 +381,21 @@ class _Run:
         self.done[index] = True
         attempts = self.attempts.get(index, 1)
         self.stats.executed += 1
-        if attempts > 1:
+        requeues = min(self.requeues.get(index, 0), max(0, attempts - 1))
+        retries = max(0, attempts - 1 - requeues)
+        if retries:
             self.stats.retried_tasks += 1
-            self.stats.retry_attempts += attempts - 1
+            self.stats.retry_attempts += retries
+        if requeues:
+            self.stats.requeued_tasks += 1
+            self.stats.requeue_attempts += requeues
         if status == "error":
             self.stats.errors += 1
         elif status == "timeout":
             self.stats.timeouts += 1
         detail = self._emit_timing(
             task, status, self.walls.get(index, 0.0), worker, result,
-            attempts=attempts, error=error,
+            attempts=attempts, error=error, requeues=requeues,
         )
         if detail.get("degraded"):
             self.stats.degraded += 1
@@ -356,7 +403,8 @@ class _Run:
             self._journal_write(index, task, status, result, attempts, error)
 
     def _emit_timing(
-        self, task, status, wall, worker, result, attempts, error
+        self, task, status, wall, worker, result, attempts, error,
+        requeues=0,
     ) -> dict:
         detail: dict = {}
         if status in ("ok", "fallback", "replayed"):
@@ -369,7 +417,7 @@ class _Run:
                 TaskTiming(
                     key=task.key(), status=status, wall_s=wall,
                     worker=str(worker), detail=detail,
-                    attempts=attempts, error=error,
+                    attempts=attempts, error=error, requeues=requeues,
                 )
             )
         return detail
@@ -626,6 +674,7 @@ def _run_pooled(todo, jobs, context, task_deadline, run: _Run):
                         run.spend(index, now - worker.started)
                         worker.clear()
                         if run.may_retry(index):
+                            run.note_requeue(index)
                             requeue(index, task)
                         else:
                             _run_local_once(index, task, run, "fallback")
@@ -643,6 +692,7 @@ def _run_pooled(todo, jobs, context, task_deadline, run: _Run):
                     run.spend(index, elapsed)
                     worker.clear()
                     if run.may_retry(index):
+                        run.note_requeue(index)
                         requeue(index, task)
                     else:
                         run.finish(

@@ -1,0 +1,956 @@
+"""Fault-tolerant sharded campaign execution with heartbeat leases,
+work-stealing and deterministic journal merge.
+
+:func:`repro.runner.run_tasks` survives losing a *worker*; a
+10⁵–10⁶-task envelope campaign must survive losing an entire *shard*
+of workers. :func:`run_sharded` partitions a campaign by task
+fingerprint hash into N shards, each executed by an independent
+single-process shard runner (spawned subprocess) that
+
+* journals every completed outcome to its **own per-shard journal**
+  (same append-only fsync'd format — the data plane),
+* rewrites a **heartbeat lease** file every ``heartbeat_s`` seconds
+  (the control plane — see :mod:`repro.runner.telemetry`), and
+* acknowledges completions to the supervisor over a pipe (progress
+  only; results never cross the pipe — they flow through journals).
+
+The supervisor declares a shard **dead** when its process exits or its
+lease goes stale (``lease_ttl``) — the lease catches the "partitioned
+but alive" case where the process is unreachable yet still running —
+then harvests the dead shard's journal read-only
+(:meth:`~repro.runner.Journal.load`), marks everything it had already
+journaled as done, and **requeues** the genuinely incomplete
+fingerprints onto the surviving shards. Because a shard can die
+*after* journaling a task but *before* acknowledging it, a requeued
+fingerprint may execute twice; per-shard journals merge with last-wins
+dedup (:func:`repro.runner.journal.merge_journals`), so double
+execution is harmless **by construction** — no lost tasks, no
+duplicated results.
+
+**Work-stealing** falls out of the same machinery: dispatch is
+windowed (at most ``window`` tasks in flight per shard), so a shard
+that drains its home queue steals from the tail of the most-backlogged
+live shard — a straggler shard slows nothing but itself.
+
+On completion the per-shard journals are merged and absorbed **byte
+for byte** into the campaign's main journal, whose sorted-line SHA-256
+digest (:func:`repro.runner.journal.journal_digest`) is therefore
+invariant to shard count, shard deaths and steal order for
+deterministic task payloads — the same guarantee ``--resume`` replay
+already gives, lifted to the multi-shard case. If every shard dies,
+the supervisor degrades to in-process execution of the remainder, the
+same last-resort the process pool has.
+
+Shard-level fault injection lives in
+:class:`repro.runner.chaos.ShardChaosPolicy`; live progress rendering
+in :mod:`repro.runner.telemetry` (``--watch``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import threading
+import time
+from collections import deque
+from multiprocessing.connection import wait as _wait_ready
+
+from .core import (
+    CampaignStats,
+    RetryPolicy,
+    TransientTaskError,
+    _exc_message,
+    _resolve_retry,
+    run_tasks,
+)
+from .journal import Journal, merge_journals, task_fingerprint, _parse_line
+from .telemetry import (
+    lease_path,
+    read_lease,
+    render_dashboard,
+    scan_campaign,
+    shard_journal_path,
+    write_lease,
+)
+from .timing import TaskTiming
+
+__all__ = ["run_sharded", "resolve_shards", "shard_of"]
+
+#: Seconds between supervisor scheduling/liveness passes.
+_POLL_INTERVAL = 0.05
+
+
+def resolve_shards(shards: int | None) -> int:
+    """Shard-count resolution: explicit > ``REPRO_SHARDS`` env > 1.
+
+    Mirrors :func:`repro.runner.resolve_jobs`'s ``REPRO_JOBS``
+    precedent: an explicit ``shards`` argument (the ``--shards`` CLI
+    flag) wins; with ``shards=None`` a ``REPRO_SHARDS`` environment
+    variable, if set to a parseable integer, decides (malformed values
+    are ignored); otherwise campaigns stay unsharded (1). Values below
+    1 are clamped to 1.
+    """
+    if shards is None:
+        env = os.environ.get("REPRO_SHARDS")
+        if env is not None:
+            try:
+                shards = int(env)
+            except ValueError:
+                shards = None
+    if shards is None:
+        return 1
+    return max(1, int(shards))
+
+
+def shard_of(fingerprint: str, shards: int) -> int:
+    """Home shard of a task fingerprint: stable hash partition.
+
+    Content-derived (the fingerprint is already a salted SHA-256 hex
+    digest), so the same task lands on the same home shard in every
+    process on every run — which is what makes a resumed sharded
+    campaign re-partition identically.
+    """
+    return int(fingerprint[:16], 16) % max(1, shards)
+
+
+# ----------------------------------------------------------------------
+# Shard-runner side (runs in the spawned subprocess)
+# ----------------------------------------------------------------------
+
+class _Heartbeat:
+    """Background lease writer for one shard runner.
+
+    The main thread mutates the counters under ``lock``; the heartbeat
+    thread rewrites the lease atomically every ``interval`` seconds. A
+    frozen heartbeat (chaos) stops rewriting but leaves the thread —
+    and the shard — running, which is exactly the "lease expires
+    without the process dying" failure the supervisor must catch.
+    """
+
+    def __init__(self, path, shard, interval):
+        self.path = path
+        self.interval = interval
+        self.lock = threading.Lock()
+        self.payload = {
+            "shard": shard,
+            "pid": os.getpid(),
+            "state": "running",
+            "done": 0,
+            "assigned": 0,
+            "retried": 0,
+            "requeued": 0,
+            "stolen": 0,
+            "started": time.time(),
+            "current_started": None,
+        }
+        self.frozen = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def start(self):
+        self.write()  # one unconditional lease before chaos can freeze it
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop.wait(self.interval):
+            self.write()
+
+    def update(self, **fields):
+        with self.lock:
+            self.payload.update(fields)
+
+    def bump(self, **fields):
+        with self.lock:
+            for key, delta in fields.items():
+                self.payload[key] = self.payload.get(key, 0) + delta
+
+    def write(self):
+        if self.frozen:
+            return
+        with self.lock:
+            payload = dict(self.payload, ts=time.time())
+        try:
+            write_lease(self.path, payload)
+        except OSError:
+            pass  # a failed heartbeat must not kill the shard
+
+    def freeze(self):
+        self.frozen = True
+
+    def stop(self, state="done"):
+        self._stop.set()
+        self.update(state=state, current_started=None)
+        self.write()
+
+
+def _execute(task, policy: RetryPolicy, token):
+    """One task with local policy retries. Returns
+    ``(status, result, wall_s, attempts, error)``."""
+    attempts = 0
+    wall = 0.0
+    while True:
+        attempts += 1
+        try:
+            task.on_attempt(attempts)
+        except Exception:
+            pass
+        start = time.perf_counter()
+        try:
+            result = task.run()
+        except TransientTaskError as exc:
+            wall += time.perf_counter() - start
+            if attempts <= policy.retries:
+                time.sleep(policy.delay(attempts, token))
+                continue
+            message = _exc_message(exc)
+            return (
+                "error", task.on_error(message), wall, attempts,
+                {"exc": message, "transient": True},
+            )
+        except Exception as exc:
+            wall += time.perf_counter() - start
+            message = _exc_message(exc)
+            return (
+                "error", task.on_error(message), wall, attempts,
+                {"exc": message, "transient": False},
+            )
+        wall += time.perf_counter() - start
+        return "ok", result, wall, attempts, None
+
+
+def _tear_tail(journal: Journal, fingerprint: str, kind: str) -> None:
+    """Leave a torn (newline-less) trailing record — what a crash in
+    the middle of :meth:`Journal.record` leaves behind."""
+    line = json.dumps(
+        {"v": 1, "fp": fingerprint, "kind": kind, "status": "ok"}
+    )
+    journal._write(line[: max(4, len(line) // 2)].encode("utf-8"))
+
+
+def _timing_detail(task, status, result) -> dict:
+    if status not in ("ok", "fallback"):
+        return {}
+    try:
+        return dict(task.timing_detail(result) or {})
+    except Exception:
+        return {}
+
+
+def _shard_main(
+    conn, shard, journal_path, lease_file, heartbeat_s, retry, chaos
+):
+    """Shard-runner process: execute dispatched tasks sequentially,
+    journal locally, heartbeat, acknowledge.
+
+    Protocol (supervisor -> shard): ``("task", index, task, flags)``
+    dispatches one task (``flags`` marks steals/requeues for the
+    lease counters); ``None`` shuts the shard down.
+    Protocol (shard -> supervisor):
+    ``(index, kind, fingerprint, status, wall_s, attempts, detail,
+    error)`` with ``kind`` ``"done"`` (executed) or ``"replayed"``
+    (already in this shard's journal — a resumed campaign).
+
+    The journal write happens *before* the acknowledgement, so the set
+    of journaled fingerprints is always a superset of the acknowledged
+    ones — a shard that dies in between leaves a completed-but-unacked
+    task the supervisor will requeue, and last-wins merge absorbs the
+    double execution.
+    """
+    policy = _resolve_retry(retry)
+    journal = Journal(journal_path, resume=True)
+    beat = _Heartbeat(lease_file, shard, heartbeat_s)
+    beat.start()
+    accepted = 0
+    straggler = (
+        chaos is not None
+        and chaos.straggler_shard == shard
+        and chaos.straggler_delay_s > 0.0
+    )
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            _tag, index, task, flags = message
+            accepted += 1
+            beat.bump(
+                assigned=1,
+                stolen=1 if flags.get("stolen") else 0,
+                requeued=1 if flags.get("requeued") else 0,
+            )
+            kill_now = (
+                chaos is not None
+                and chaos.kill_shard == shard
+                and accepted == chaos.kill_after
+            )
+            if straggler:
+                time.sleep(chaos.straggler_delay_s)
+            fingerprint = task_fingerprint(task)
+            kind = type(task).__name__
+            entry = journal.get(fingerprint)
+            if entry is not None:
+                reply = (
+                    index, "replayed", fingerprint, entry.status,
+                    0.0, entry.attempts, {}, entry.error,
+                )
+            else:
+                if kill_now and chaos.kill_mode == "torn":
+                    # Crash mid-write: torn trailing line, then die.
+                    _tear_tail(journal, fingerprint, kind)
+                    os._exit(31)
+                beat.update(current_started=time.time())
+                beat.write()
+                status, result, wall, attempts, error = _execute(
+                    task, policy, fingerprint
+                )
+                detail = _timing_detail(task, status, result)
+                journal_error = False
+                try:
+                    if task.corrupt_journal_record():
+                        journal.record_corrupt(fingerprint, kind)
+                    else:
+                        journal.record(
+                            fingerprint, kind, status, result,
+                            attempts=attempts, error=error,
+                        )
+                except Exception:
+                    journal_error = True
+                if kill_now:
+                    # Journaled but never acknowledged: the supervisor
+                    # requeues this fingerprint and the merge dedups it.
+                    os._exit(31)
+                beat.bump(done=1, retried=1 if attempts > 1 else 0)
+                beat.update(current_started=None)
+                if journal_error:
+                    error = dict(error or {}, journal_error=True)
+                reply = (
+                    index, "done", fingerprint, status,
+                    wall, attempts, detail, error,
+                )
+            if (
+                chaos is not None
+                and chaos.freeze_shard == shard
+                and accepted >= max(1, chaos.freeze_after)
+            ):
+                beat.freeze()
+            beat.write()
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+            except Exception:
+                # Unpicklable detail payload: degrade, stay alive.
+                try:
+                    conn.send(
+                        (index, reply[1], fingerprint, reply[3],
+                         reply[4], reply[5], {}, reply[7])
+                    )
+                except Exception:
+                    break
+    finally:
+        beat.stop(state="done")
+        journal.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+
+class _Shard:
+    """Supervisor-side view of one shard runner."""
+
+    __slots__ = (
+        "index", "process", "conn", "journal_path", "lease_file",
+        "queue", "inflight", "alive", "spawned_at",
+    )
+
+    def __init__(self, index, process, conn, journal_path, lease_file):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.journal_path = journal_path
+        self.lease_file = lease_file
+        self.queue: deque = deque()  # undispatched home-task indices
+        self.inflight: dict = {}  # index -> dispatch epoch
+        self.alive = process is not None
+        self.spawned_at = time.time()
+
+    def stop(self):
+        if self.process is None:
+            return
+        try:
+            if self.process.is_alive():
+                self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=2.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _Supervisor:
+    """One sharded campaign: dispatch, liveness, steal, merge."""
+
+    def __init__(
+        self, tasks, shards, journal, retry, stats, collect,
+        task_deadline, heartbeat_s, lease_ttl, window, chaos,
+        watch, watch_interval, max_requeues,
+    ):
+        self.tasks = tasks
+        self.n = shards
+        self.journal = journal  # the main Journal (never None here)
+        self.policy = _resolve_retry(retry)
+        self.stats = stats
+        self.collect = collect
+        self.task_deadline = task_deadline
+        self.heartbeat_s = heartbeat_s
+        self.lease_ttl = lease_ttl
+        self.window = window
+        self.chaos = chaos
+        self.watch = watch
+        self.watch_interval = watch_interval
+        self.max_requeues = max_requeues
+
+        self.base = self.journal.path
+        self.fingerprints = [task_fingerprint(t) for t in tasks]
+        self.done: dict[int, str] = {}  # index -> fingerprint
+        self.requeue_counts: dict[int, int] = {}
+        self.shards: list[_Shard] = []
+        self.local_journal: Journal | None = None
+        self.started = time.time()
+        self._last_watch = 0.0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def run(self) -> list:
+        self.stats.total += len(self.tasks)
+        self._premerge_leftovers()
+        todo = self._replay()
+        if todo:
+            self._spawn(min(self.n, len(todo)) or 1)
+            self._partition(todo)
+            self._loop()
+        self._shutdown()
+        self._absorb()
+        results = self._results()
+        self._cleanup()
+        return results
+
+    def _premerge_leftovers(self):
+        """Fold shard/local journals left by a crashed prior run into
+        the main journal, so supervisor replay sees them."""
+        leftovers = self._shard_files()
+        if not leftovers:
+            return
+        for fingerprint, raw in merge_journals(leftovers).items():
+            if fingerprint not in self.journal:
+                self.journal.absorb_line(raw)
+
+    def _shard_files(self) -> list[pathlib.Path]:
+        pattern = self.base.name + ".shard*"
+        files = [
+            p for p in self.base.parent.glob(pattern)
+            if not p.name.endswith(".lease")
+            and ".lease.tmp" not in p.name
+            and ".tmp" not in p.suffix
+        ]
+        local = self.base.with_name(self.base.name + ".local")
+        if local.exists():
+            files.append(local)
+        return files
+
+    def _replay(self) -> list[int]:
+        todo = []
+        for index, task in enumerate(self.tasks):
+            entry = self.journal.get(self.fingerprints[index])
+            if entry is None:
+                todo.append(index)
+                continue
+            self.done[index] = self.fingerprints[index]
+            self.stats.replayed += 1
+            self._emit(
+                task, "replayed", 0.0, "journal",
+                attempts=0, error=entry.error, entry=entry,
+            )
+        return todo
+
+    def _spawn(self, count):
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        for shard in range(count):
+            journal_path = shard_journal_path(self.base, shard)
+            lease_file = lease_path(self.base, shard)
+            try:
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_shard_main,
+                    args=(
+                        child_end, shard, str(journal_path),
+                        str(lease_file), self.heartbeat_s,
+                        self.policy, self.chaos,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+            except (OSError, ValueError):
+                self.shards.append(
+                    _Shard(shard, None, None, journal_path, lease_file)
+                )
+                continue
+            self.shards.append(
+                _Shard(shard, process, parent_end, journal_path, lease_file)
+            )
+
+    def _partition(self, todo):
+        live = [s for s in self.shards if s.alive]
+        for index in todo:
+            home = self.shards[shard_of(self.fingerprints[index], self.n)]
+            if not home.alive:
+                home = (
+                    live[shard_of(self.fingerprints[index], len(live))]
+                    if live else home
+                )
+            home.queue.append(index)
+
+    # -- main loop ----------------------------------------------------
+
+    def _incomplete(self) -> bool:
+        return len(self.done) < len(self.tasks)
+
+    def _loop(self):
+        while self._incomplete():
+            live = [s for s in self.shards if s.alive]
+            if not live:
+                self._run_rest_locally()
+                return
+            self._dispatch(live)
+            self._collect_acks(live)
+            self._check_liveness()
+            self._maybe_watch()
+
+    def _dispatch(self, live):
+        for shard in live:
+            while len(shard.inflight) < self.window:
+                index, flags = self._next_for(shard, live)
+                if index is None:
+                    break
+                try:
+                    shard.conn.send(
+                        ("task", index, self.tasks[index], flags)
+                    )
+                except Exception:
+                    shard.queue.appendleft(index)
+                    self._declare_dead(shard, "send failed")
+                    break
+                shard.inflight[index] = time.time()
+
+    def _next_for(self, shard, live):
+        """The next index for ``shard``: its own queue, else a steal
+        from the tail of the most-backlogged other live shard."""
+        while shard.queue:
+            index = shard.queue.popleft()
+            if index not in self.done:
+                return index, {}
+        victim = None
+        for other in live:
+            if other is shard or not other.queue:
+                continue
+            if victim is None or len(other.queue) > len(victim.queue):
+                victim = other
+        while victim is not None and victim.queue:
+            index = victim.queue.pop()  # steal from the cold tail
+            if index not in self.done:
+                self.stats.stolen_tasks += 1
+                return index, {"stolen": True}
+        return None, {}
+
+    def _collect_acks(self, live):
+        busy = [s for s in live if s.inflight]
+        if not busy:
+            time.sleep(_POLL_INTERVAL / 5)
+            return
+        ready = _wait_ready(
+            [s.conn for s in busy], timeout=_POLL_INTERVAL
+        )
+        for shard in busy:
+            if shard.conn not in ready:
+                continue
+            while True:
+                try:
+                    if not shard.conn.poll():
+                        break
+                    reply = shard.conn.recv()
+                except (EOFError, OSError):
+                    break
+                self._ack(shard, reply)
+
+    def _ack(self, shard, reply):
+        (index, kind, fingerprint, status, wall, attempts, detail,
+         error) = reply
+        shard.inflight.pop(index, None)
+        if index in self.done:
+            return  # double execution after a requeue: merge dedups it
+        self.done[index] = fingerprint
+        worker = f"shard{shard.index}:{shard.process.pid}"
+        if kind == "replayed":
+            self.stats.replayed += 1
+            self._emit(
+                self.tasks[index], "replayed", 0.0, worker,
+                attempts=0, error=error,
+            )
+            return
+        self.stats.executed += 1
+        local_retries = max(0, attempts - 1)
+        if local_retries:
+            self.stats.retried_tasks += 1
+            self.stats.retry_attempts += local_retries
+        if status == "error":
+            self.stats.errors += 1
+        elif status == "timeout":
+            self.stats.timeouts += 1
+        if detail.get("degraded"):
+            self.stats.degraded += 1
+        if (error or {}).get("journal_error"):
+            self.stats.journal_errors += 1
+        self._emit(
+            self.tasks[index], status, wall, worker,
+            attempts=attempts, error=error, detail=detail,
+            requeues=self.requeue_counts.get(index, 0),
+        )
+
+    # -- liveness and requeue -----------------------------------------
+
+    def _check_liveness(self):
+        now = time.time()
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            reason = None
+            if not shard.process.is_alive():
+                reason = "process exited"
+            else:
+                lease = read_lease(shard.lease_file)
+                if lease is None:
+                    if now - shard.spawned_at > 2 * self.lease_ttl:
+                        reason = "no lease"
+                elif now - float(lease["ts"]) > self.lease_ttl:
+                    reason = "lease expired"
+                elif (
+                    self.task_deadline is not None
+                    and lease.get("current_started") is not None
+                    and now - float(lease["current_started"])
+                    > self.task_deadline
+                ):
+                    reason = "task deadline exceeded"
+            if reason is not None:
+                self._declare_dead(shard, reason)
+
+    def _declare_dead(self, shard, reason):
+        """Kill, harvest the journal, requeue incomplete fingerprints."""
+        shard.alive = False
+        if shard.process is not None:
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=2.0)
+            if shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join(timeout=2.0)
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+        # Harvest: anything the dead shard journaled is done, even if
+        # the acknowledgement never arrived.
+        harvested = (
+            Journal.load(shard.journal_path)
+            if shard.journal_path.exists() else None
+        )
+        incomplete = []
+        for index in list(shard.inflight):
+            shard.inflight.pop(index)
+            if index in self.done:
+                continue
+            fingerprint = self.fingerprints[index]
+            entry = (
+                harvested.get(fingerprint) if harvested is not None
+                else None
+            )
+            if entry is not None:
+                self.done[index] = fingerprint
+                self.stats.executed += 1
+                if entry.status == "error":
+                    self.stats.errors += 1
+                elif entry.status == "timeout":
+                    self.stats.timeouts += 1
+                self._emit(
+                    self.tasks[index], entry.status, 0.0,
+                    f"shard{shard.index}", attempts=entry.attempts,
+                    error=entry.error, entry=entry,
+                )
+            else:
+                incomplete.append(index)
+        live = [s for s in self.shards if s.alive]
+        backlog = list(shard.queue)
+        shard.queue.clear()
+        for position, index in enumerate(incomplete):
+            count = self.requeue_counts.get(index, 0) + 1
+            self.requeue_counts[index] = count
+            if count > self.max_requeues:
+                # A task that kills every shard it lands on: finish it
+                # locally (once) instead of poisoning the fleet.
+                self._finish_locally(
+                    index, f"shard requeue limit ({reason})"
+                )
+                continue
+            self.stats.requeued_tasks += 1
+            self.stats.requeue_attempts += 1
+            if live:
+                live[position % len(live)].queue.append(index)
+        if live:
+            for position, index in enumerate(backlog):
+                if index not in self.done:
+                    live[position % len(live)].queue.append(index)
+        # With no survivors the backlog and requeues fall through to
+        # the main loop's in-process last resort (_run_rest_locally).
+
+    def _finish_locally(self, index, reason):
+        task = self.tasks[index]
+        status, result, wall, attempts, error = _execute(
+            task, self.policy, self.fingerprints[index]
+        )
+        self._journal_locally(index, status, result, attempts, error)
+        self.done[index] = self.fingerprints[index]
+        self.stats.executed += 1
+        if status == "error":
+            self.stats.errors += 1
+        self._emit(
+            task, status, wall, "local", attempts=attempts, error=error,
+            detail=_timing_detail(task, status, result),
+            requeues=self.requeue_counts.get(index, 0),
+        )
+
+    def _journal_locally(self, index, status, result, attempts, error):
+        if self.local_journal is None:
+            self.local_journal = Journal(
+                self.base.with_name(self.base.name + ".local"),
+                resume=True,
+            )
+        try:
+            self.local_journal.record(
+                self.fingerprints[index], type(self.tasks[index]).__name__,
+                status, result, attempts=attempts, error=error,
+            )
+        except Exception:
+            self.stats.journal_errors += 1
+
+    def _run_rest_locally(self):
+        """Every shard is gone: degrade to in-process execution."""
+        for index in range(len(self.tasks)):
+            if index not in self.done:
+                self._finish_locally(index, "all shards dead")
+
+    # -- progress -----------------------------------------------------
+
+    def _maybe_watch(self):
+        if not self.watch:
+            return
+        now = time.time()
+        if now - self._last_watch < self.watch_interval:
+            return
+        self._last_watch = now
+        text = render_dashboard(
+            scan_campaign(self.base, shards=len(self.shards), now=now),
+            total=len(self.tasks) - self.stats.replayed,
+            elapsed_s=now - self.started,
+            lease_ttl=self.lease_ttl,
+        )
+        if callable(self.watch):
+            self.watch(text)
+        else:
+            import sys
+
+            print(text, file=sys.stderr, flush=True)
+
+    def _emit(
+        self, task, status, wall, worker, attempts, error,
+        detail=None, requeues=0, entry=None,
+    ):
+        if self.collect is None:
+            return
+        if detail is None:
+            detail = (
+                _timing_detail(task, status, entry.result)
+                if entry is not None else {}
+            )
+        self.collect.record(
+            TaskTiming(
+                key=task.key(), status=status, wall_s=wall,
+                worker=str(worker), detail=detail,
+                attempts=attempts, error=error, requeues=requeues,
+            )
+        )
+
+    # -- merge and teardown -------------------------------------------
+
+    def _shutdown(self):
+        for shard in self.shards:
+            if shard.alive:
+                shard.stop()
+                shard.alive = False
+
+    def _absorb(self):
+        for fingerprint, raw in sorted(
+            merge_journals(self._shard_files()).items()
+        ):
+            if fingerprint not in self.journal:
+                self.journal.absorb_line(raw)
+
+    def _results(self) -> list:
+        results = []
+        for index, task in enumerate(self.tasks):
+            entry = self.journal.get(self.fingerprints[index])
+            if entry is None:
+                # Hole of last resort (e.g. chaos tore the only record
+                # of this task): run it here, then it is journaled.
+                status, result, wall, attempts, error = _execute(
+                    task, self.policy, self.fingerprints[index]
+                )
+                if index not in self.done:
+                    self.stats.executed += 1
+                    if status == "error":
+                        self.stats.errors += 1
+                self.done[index] = self.fingerprints[index]
+                self._emit(
+                    task, status, wall, "local", attempts=attempts,
+                    error=error,
+                    detail=_timing_detail(task, status, result),
+                )
+                try:
+                    self.journal.record(
+                        self.fingerprints[index], type(task).__name__,
+                        status, result, attempts=attempts, error=error,
+                    )
+                except Exception:
+                    self.stats.journal_errors += 1
+                results.append(result)
+                continue
+            results.append(entry.result)
+        return results
+
+    def _cleanup(self):
+        if self.local_journal is not None:
+            self.local_journal.close()
+        # Everything is absorbed into the fsync'd main journal; the
+        # per-shard files are redundant now, and leaving them would
+        # leak stale results into a later resume=False campaign at the
+        # same path.
+        for path in self._shard_files():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for shard in self.shards:
+            try:
+                shard.lease_file.unlink()
+            except OSError:
+                pass
+
+
+def run_sharded(
+    tasks,
+    shards: int | None = None,
+    journal=None,
+    retry=None,
+    stats: CampaignStats | None = None,
+    collect=None,
+    task_deadline: float | None = None,
+    heartbeat_s: float = 0.5,
+    lease_ttl: float = 10.0,
+    window: int = 2,
+    chaos=None,
+    watch=None,
+    watch_interval: float = 2.0,
+    max_requeues: int = 3,
+    jobs: int | None = 1,
+) -> list:
+    """Run a campaign across fault-tolerant shards; results in
+    submission order.
+
+    ``shards`` resolves via :func:`resolve_shards` (explicit >
+    ``REPRO_SHARDS`` > 1); a resolved count of 1 delegates to
+    :func:`repro.runner.run_tasks` with ``jobs`` workers — sharding is
+    strictly additive. ``journal`` is the campaign's main
+    :class:`~repro.runner.Journal` (or a path opened ``resume=True``,
+    or ``None`` for a throwaway campaign journaled in a temp
+    directory); per-shard journals and heartbeat leases live next to
+    it (``<base>.shardK`` / ``<base>.shardK.lease``) and are absorbed
+    into it — byte for byte — when the campaign completes. ``chaos``
+    is a :class:`~repro.runner.ShardChaosPolicy`; ``watch`` enables
+    the live dashboard (``True`` = stderr, or a callable receiving the
+    rendered text every ``watch_interval`` seconds). ``task_deadline``
+    arms the supervisor's per-task kill: a shard whose lease shows one
+    task in flight longer than the deadline is declared dead and its
+    work requeued. A fingerprint requeued more than ``max_requeues``
+    times is finished in-process instead of poisoning the fleet.
+    """
+    tasks = list(tasks)
+    if stats is None:
+        stats = CampaignStats()
+    count = resolve_shards(shards)
+    if count <= 1 or len(tasks) <= 1:
+        opened = None
+        if journal is not None and not isinstance(journal, Journal):
+            journal = opened = Journal(journal, resume=True)
+        try:
+            return run_tasks(
+                tasks, jobs=jobs, task_deadline=task_deadline,
+                collect=collect, journal=journal, retry=retry, stats=stats,
+            )
+        finally:
+            if opened is not None:
+                opened.close()
+    tempdir = None
+    own_journal = False
+    if journal is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-shard-")
+        journal = Journal(
+            pathlib.Path(tempdir.name) / "campaign.jsonl", fsync=False
+        )
+        own_journal = True
+    elif not isinstance(journal, Journal):
+        journal = Journal(journal, resume=True)
+        own_journal = True
+    try:
+        supervisor = _Supervisor(
+            tasks, count, journal, retry, stats, collect,
+            task_deadline, heartbeat_s, lease_ttl, max(1, window), chaos,
+            watch, watch_interval, max_requeues,
+        )
+        return supervisor.run()
+    finally:
+        if own_journal:
+            journal.close()
+        if tempdir is not None:
+            tempdir.cleanup()

@@ -1,0 +1,316 @@
+"""Live telemetry for sharded campaigns: heartbeat leases and a
+plaintext dashboard.
+
+A sharded campaign (:mod:`repro.runner.shard`) leaves two kinds of
+state on disk next to its journal: per-shard **journals** (the data
+plane — every completed task outcome) and per-shard **lease files**
+(the control plane — one small JSON document per shard, atomically
+rewritten every heartbeat). The supervisor reads leases to decide
+liveness; this module reads the same files to render progress, so a
+``--watch`` view — in-process or from a second terminal via
+``python -m repro.runner.telemetry <journal-base>`` — needs no
+connection to the supervisor at all. Journals are tailed read-only
+(:meth:`repro.runner.Journal.load`): telemetry never takes the write
+path, never fsyncs and never truncates a torn tail out from under the
+shard that owns the file.
+
+Lease document fields (all optional but ``shard`` and ``ts``)::
+
+    {"shard": 2, "pid": 4242, "ts": 1722.5,     # heartbeat wall-clock
+     "state": "running",                         # running|done|dead
+     "done": 17, "assigned": 25,                 # task counters
+     "retried": 1, "requeued": 0, "stolen": 3,   # resilience counters
+     "started": 1700.0,                          # campaign start
+     "current_started": 1721.9}                  # in-flight task epoch
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ShardStatus",
+    "write_lease",
+    "read_lease",
+    "lease_path",
+    "shard_journal_path",
+    "scan_campaign",
+    "render_dashboard",
+    "watch",
+]
+
+
+def shard_journal_path(base: str | pathlib.Path, shard: int) -> pathlib.Path:
+    """The per-shard journal path derived from the campaign base path."""
+    base = pathlib.Path(base)
+    return base.with_name(f"{base.name}.shard{shard}")
+
+
+def lease_path(base: str | pathlib.Path, shard: int) -> pathlib.Path:
+    """The heartbeat lease path derived from the campaign base path."""
+    base = pathlib.Path(base)
+    return base.with_name(f"{base.name}.shard{shard}.lease")
+
+
+def write_lease(path: str | pathlib.Path, payload: dict) -> None:
+    """Atomically (re)write one lease document.
+
+    Write-to-temp plus ``os.replace`` so a reader never observes a
+    half-written lease — a torn lease would spuriously look expired
+    and get its healthy shard declared dead.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, separators=(",", ":")) + "\n")
+    os.replace(tmp, path)
+
+
+def read_lease(path: str | pathlib.Path) -> dict | None:
+    """Parse one lease document; ``None`` when missing or corrupt."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "ts" not in payload:
+        return None
+    return payload
+
+
+@dataclass
+class ShardStatus:
+    """One shard's progress as seen from its lease + journal files."""
+
+    shard: int
+    state: str = "unknown"  # running | done | dead | unknown
+    pid: int | None = None
+    done: int = 0
+    assigned: int = 0
+    retried: int = 0
+    requeued: int = 0
+    stolen: int = 0
+    #: Seconds since the last heartbeat (inf when no lease exists).
+    age_s: float = float("inf")
+    #: Seconds the in-flight task has been running, if any.
+    current_s: float | None = None
+    #: Campaign epoch the shard reported at startup.
+    started: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_lease(
+        cls, shard: int, payload: dict | None, now: float | None = None
+    ) -> "ShardStatus":
+        if payload is None:
+            return cls(shard=shard)
+        now = time.time() if now is None else now
+        current = payload.get("current_started")
+        return cls(
+            shard=int(payload.get("shard", shard)),
+            state=str(payload.get("state", "running")),
+            pid=payload.get("pid"),
+            done=int(payload.get("done", 0)),
+            assigned=int(payload.get("assigned", 0)),
+            retried=int(payload.get("retried", 0)),
+            requeued=int(payload.get("requeued", 0)),
+            stolen=int(payload.get("stolen", 0)),
+            age_s=max(0.0, now - float(payload["ts"])),
+            current_s=(
+                max(0.0, now - float(current)) if current is not None
+                else None
+            ),
+            started=payload.get("started"),
+        )
+
+
+def scan_campaign(
+    base: str | pathlib.Path,
+    shards: int | None = None,
+    now: float | None = None,
+) -> list[ShardStatus]:
+    """Read every shard's lease under the campaign ``base`` path.
+
+    ``shards=None`` discovers shards by globbing lease files, so a
+    second-terminal watcher needs only the journal base path. The
+    journal is consulted as a fallback ``done`` count for shards whose
+    lease is missing (e.g. a shard killed before its first heartbeat).
+    """
+    base = pathlib.Path(base)
+    now = time.time() if now is None else now
+    if shards is None:
+        indices = []
+        prefix, suffix = base.name + ".shard", ".lease"
+        for path in sorted(base.parent.glob(base.name + ".shard*.lease")):
+            middle = path.name[len(prefix):-len(suffix)]
+            if middle.isdigit():
+                indices.append(int(middle))
+        indices = sorted(set(indices))
+    else:
+        indices = list(range(shards))
+    statuses = []
+    for shard in indices:
+        status = ShardStatus.from_lease(
+            shard, read_lease(lease_path(base, shard)), now=now
+        )
+        if status.state == "unknown":
+            journal = shard_journal_path(base, shard)
+            if journal.exists():
+                from .journal import Journal
+
+                status.done = len(Journal.load(journal))
+        statuses.append(status)
+    return statuses
+
+
+def _eta(done: int, total: int, elapsed_s: float) -> str:
+    if done <= 0 or total <= done or elapsed_s <= 0:
+        return "-"
+    remaining = elapsed_s * (total - done) / done
+    if remaining >= 3600:
+        return f"{remaining / 3600:.1f}h"
+    if remaining >= 60:
+        return f"{remaining / 60:.1f}m"
+    return f"{remaining:.0f}s"
+
+
+def render_dashboard(
+    statuses: list[ShardStatus],
+    total: int | None = None,
+    elapsed_s: float | None = None,
+    lease_ttl: float | None = None,
+) -> str:
+    """Plaintext per-shard progress table plus a campaign summary line.
+
+    Pure function of its inputs (timestamps come in via the statuses),
+    so it is directly testable and renders identically in-process and
+    from a second terminal. A shard whose heartbeat is older than
+    ``lease_ttl`` renders as ``expired`` even if its lease still says
+    ``running`` — exactly the condition under which the supervisor
+    declares it dead.
+    """
+    headers = (
+        "shard", "state", "pid", "done/assigned",
+        "retried", "requeued", "stolen", "beat", "task",
+    )
+    rows = []
+    done_sum = 0
+    for status in statuses:
+        state = status.state
+        if (
+            lease_ttl is not None
+            and state == "running"
+            and status.age_s > lease_ttl
+        ):
+            state = "expired"
+        beat = "-" if status.age_s == float("inf") else f"{status.age_s:.1f}s"
+        current = (
+            "-" if status.current_s is None else f"{status.current_s:.1f}s"
+        )
+        rows.append((
+            str(status.shard), state,
+            "-" if status.pid is None else str(status.pid),
+            f"{status.done}/{status.assigned}",
+            str(status.retried), str(status.requeued), str(status.stolen),
+            beat, current,
+        ))
+        done_sum += status.done
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    summary = [f"{done_sum} done"]
+    if total is not None:
+        summary[0] = f"{done_sum}/{total} done"
+    summary.append(
+        f"{sum(1 for s in statuses if s.state == 'running')} shard(s) live"
+    )
+    stolen = sum(s.stolen for s in statuses)
+    requeued = sum(s.requeued for s in statuses)
+    if stolen:
+        summary.append(f"{stolen} stolen")
+    if requeued:
+        summary.append(f"{requeued} requeued")
+    if elapsed_s is not None:
+        summary.append(f"elapsed {elapsed_s:.1f}s")
+        if total is not None:
+            summary.append(f"eta {_eta(done_sum, total, elapsed_s)}")
+    lines.append("campaign: " + ", ".join(summary))
+    return "\n".join(lines)
+
+
+def watch(
+    base: str | pathlib.Path,
+    shards: int | None = None,
+    interval: float = 1.0,
+    total: int | None = None,
+    iterations: int | None = None,
+    out=None,
+) -> None:
+    """Poll the lease/journal files and re-render the dashboard.
+
+    This is the second-terminal view: point it at a running campaign's
+    journal base path. Stops when every discovered shard reports
+    ``done``/``dead`` (or after ``iterations`` renders, for tests).
+    """
+    import sys
+
+    out = sys.stderr if out is None else out
+    started = time.time()
+    count = 0
+    while True:
+        statuses = scan_campaign(base, shards=shards)
+        print(
+            render_dashboard(
+                statuses, total=total, elapsed_s=time.time() - started
+            ),
+            file=out, flush=True,
+        )
+        count += 1
+        if iterations is not None and count >= iterations:
+            return
+        if statuses and all(
+            s.state in ("done", "dead") for s in statuses
+        ):
+            return
+        time.sleep(interval)
+
+
+def _main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner.telemetry",
+        description="Watch a running sharded campaign from its lease "
+        "and journal files.",
+    )
+    parser.add_argument("base", help="campaign journal base path")
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--interval", type=float, default=1.0)
+    parser.add_argument(
+        "--once", action="store_true", help="render once and exit"
+    )
+    args = parser.parse_args(argv)
+    import sys
+
+    watch(
+        args.base, shards=args.shards, interval=args.interval,
+        iterations=1 if args.once else None, out=sys.stdout,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    sys.exit(_main())

@@ -95,10 +95,14 @@ class TaskTiming:
     key: dict | None
     status: str  # "ok" | "error" | "timeout" | "fallback" | "replayed"
     wall_s: float
-    worker: str  # worker pid as a string, "local", or "journal"
+    worker: str  # worker pid, "local", "journal", or "shard<K>:<pid>"
     detail: dict = field(default_factory=dict)
     attempts: int = 1
     error: dict | None = None
+    #: Attempts caused by infrastructure failure (worker/shard death,
+    #: deadline kill) rather than a policy retry; see
+    #: :class:`repro.runner.CampaignStats`.
+    requeues: int = 0
 
     def as_entry(self) -> dict:
         entry = dict(self.key or {})
@@ -106,6 +110,8 @@ class TaskTiming:
         entry["wall_s"] = self.wall_s
         entry["worker"] = self.worker
         entry["attempts"] = self.attempts
+        if self.requeues:
+            entry["requeues"] = self.requeues
         if self.error is not None:
             entry["error"] = dict(self.error)
         entry.update(self.detail)
@@ -136,23 +142,33 @@ def write_bench(
     jobs: int,
     quick: bool,
     total_wall_s: float,
+    stats=None,
+    shards: int | None = None,
 ) -> dict:
     """Merge one experiment's timings into the bench artifact at ``path``.
 
     Existing entries for *other* experiments are preserved — as is the
     ``kernels`` section — so a full ``python -m repro.experiments all``
-    accumulates every sweep into a single file. Returns the written
-    document.
+    accumulates every sweep into a single file. ``stats`` (a
+    :class:`repro.runner.CampaignStats`) adds the campaign counters —
+    replays, retries, requeues, steals — as a ``"campaign"`` sub-dict;
+    ``shards`` records the shard count of a sharded campaign. Returns
+    the written document.
     """
     path = pathlib.Path(path)
     data = _load_bench(path)
-    data["experiments"][experiment] = {
+    entry = {
         "jobs": jobs,
         "quick": quick,
         "total_wall_s": total_wall_s,
         "task_wall_s": collector.task_wall_s(),
         "tasks": collector.entries(),
     }
+    if shards is not None:
+        entry["shards"] = shards
+    if stats is not None:
+        entry["campaign"] = stats.counters()
+    data["experiments"][experiment] = entry
     _dump_bench(path, data)
     return data
 

@@ -158,8 +158,15 @@ class TestPooledChaos:
             t.value if kind == "ok" else None
             for t, (kind, _) in zip(tasks, expected)
         ]
-        assert stats.retried_tasks == sum(
-            1 for _, attempt in expected if attempt > 1
+        # A pooled worker kill is classified as an infrastructure
+        # *requeue* when the death is caught by the liveness check, but
+        # degrades to in-process policy *retries* when the EOF races
+        # ahead — either way every killed task is reported in exactly
+        # these two counters, and the attempt totals are exact.
+        n_killed = sum(1 for _, attempt in expected if attempt > 1)
+        assert stats.retried_tasks + stats.requeued_tasks >= n_killed
+        assert stats.retry_attempts + stats.requeue_attempts == sum(
+            attempt - 1 for _, attempt in expected
         )
 
     def test_hangs_deadline_killed_then_retried(self):
