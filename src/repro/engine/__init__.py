@@ -19,7 +19,14 @@ from .faults import (
 )
 from .gains import KI_0, KI_1, KP_0, KP_1, THETA, mode_gains, paper_controller
 from .model import INPUT_NAMES, OUTPUT_NAMES, STATE_NAMES, build_engine_plant
-from .references import equilibrium_output, mode_equilibrium, nominal_reference
+from .references import (
+    ATTRACTING_MARGIN,
+    REGIME_MARGINS,
+    attracting_reference,
+    equilibrium_output,
+    mode_equilibrium,
+    nominal_reference,
+)
 
 __all__ = [
     "build_engine_plant",
@@ -36,6 +43,9 @@ __all__ = [
     "mode_equilibrium",
     "equilibrium_output",
     "nominal_reference",
+    "attracting_reference",
+    "ATTRACTING_MARGIN",
+    "REGIME_MARGINS",
     "BenchmarkCase",
     "benchmark_suite",
     "case_by_name",

@@ -20,10 +20,29 @@ import numpy as np
 from ..systems import StateSpace, fixed_mode_closed_loop
 from .gains import THETA, mode_gains
 
-__all__ = ["mode_equilibrium", "equilibrium_output", "nominal_reference"]
+__all__ = [
+    "mode_equilibrium",
+    "equilibrium_output",
+    "nominal_reference",
+    "attracting_reference",
+    "ATTRACTING_MARGIN",
+    "REGIME_MARGINS",
+]
 
 #: Default setpoints for (HPC pressure ratio, Mach exit, HPC spool speed).
 DEFAULT_TAIL = (1.0, 0.5, 2.0)
+
+#: Negative guard margin that makes the mode-1 equilibrium *leave* the
+#: mode-1 region, turning the nominal bistable configuration into an
+#: attracting one. -1.5 sits inside the feasible window of every
+#: benchmark case (size3i/size3/size5/size10); size5's window is the
+#: narrowest (infeasible again below about -2.5).
+ATTRACTING_MARGIN = -1.5
+
+#: Reference regimes used by the CEGIS experiments: the paper's nominal
+#: bistable references (no certificate exists — provably) and the
+#: attracting regime where the loop finds validated certificates.
+REGIME_MARGINS = {"nominal": 1.0, "attracting": ATTRACTING_MARGIN}
 
 
 def mode_equilibrium(plant: StateSpace, mode: int, r: np.ndarray) -> np.ndarray:
@@ -54,3 +73,20 @@ def nominal_reference(
     y0_eq = float(equilibrium_output(plant, w_eq1)[0])
     r = np.array([y0_eq + theta + margin, *tail])
     return r
+
+
+def attracting_reference(
+    plant: StateSpace,
+    tail: tuple[float, float, float] = DEFAULT_TAIL,
+    theta: float = THETA,
+) -> np.ndarray:
+    """A reference whose mode-1 equilibrium violates its own guard.
+
+    With ``margin < 0`` the mode-1 equilibrium output sits *above* the
+    switching threshold, so trajectories in region 1 are pushed toward
+    the surface and the mode-0 equilibrium is the unique attractor —
+    the regime where a global piecewise certificate can exist at all
+    (at the nominal references the deep-cut ellipsoid method proves
+    there is none; see :mod:`repro.lyapunov.cegis`).
+    """
+    return nominal_reference(plant, tail=tail, theta=theta, margin=ATTRACTING_MARGIN)

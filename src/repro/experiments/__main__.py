@@ -15,7 +15,9 @@ trajectory is tracked across PRs. The piecewise experiment additionally
 takes ``--solver hybrid|ellipsoid|barrier`` (default ``hybrid``: the
 tensorized ellipsoid burn-in + warm-started barrier polish) and
 ``--oracle-batch on|off`` (``off`` restores the per-block differential
-separation oracle).
+separation oracle). The ``cegis`` experiment runs the
+counterexample-guided refinement loop over both reference regimes
+(``--cegis-rounds`` caps the per-campaign round budget).
 
 Campaigns survive crashes: ``--journal PATH`` records every finished
 task in an append-only JSONL journal, and ``--resume`` replays it so an
@@ -55,6 +57,7 @@ from ..runner import (
     write_bench,
 )
 from ..service.engine import CampaignEngine
+from .cegis import render_cegis, run_cegis
 from .figure3 import render_figure3, run_figure3
 from .piecewise import render_piecewise, run_piecewise
 from .records import dump_records
@@ -144,6 +147,19 @@ def _piecewise(args, timing, campaign) -> str:
     return render_piecewise(records)
 
 
+def _cegis(args, timing, campaign) -> str:
+    names = ("size3",) if args.quick else ("size3", "size5", "size10")
+    records = run_cegis(
+        case_names=names,
+        max_rounds=args.cegis_rounds,
+        max_iterations=6_000 if args.quick else 30_000,
+        engine=_engine(args, timing, campaign),
+    )
+    if args.json:
+        dump_records(records, args.json)
+    return render_cegis(records)
+
+
 def _table2(args, timing, campaign) -> str:
     names = ("size3", "size5") if args.quick else ("size15", "size18")
     records = run_table2(
@@ -159,6 +175,7 @@ COMMANDS = {
     "table1": _table1,
     "figure3": _figure3,
     "piecewise": _piecewise,
+    "cegis": _cegis,
     "table2": _table2,
 }
 
@@ -200,6 +217,10 @@ def main(argv: list[str] | None = None) -> int:
         "--oracle-batch", choices=("on", "off"), default="on",
         help="tensorized batched LMI separation oracle; 'off' runs the "
         "per-block differential oracle (piecewise experiment only)",
+    )
+    parser.add_argument(
+        "--cegis-rounds", type=int, default=40, metavar="N",
+        help="CEGIS round budget per campaign (cegis experiment only)",
     )
     parser.add_argument(
         "--json", type=str, default=None,

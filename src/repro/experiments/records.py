@@ -16,6 +16,7 @@ __all__ = [
     "Figure3Record",
     "Table2Record",
     "PiecewiseRecord",
+    "CegisRecord",
     "MethodKey",
     "method_rows",
     "render_grid",
@@ -117,6 +118,35 @@ class PiecewiseRecord:
     solver: str = "hybrid"
     #: Per-phase synthesis wall times (compile_s / oracle_s / polish_s).
     phases: dict = field(default_factory=dict)
+
+
+@dataclass
+class CegisRecord:
+    """One CEGIS campaign (case, regime, synthesis mode) — the loop
+    that closes the paper's open Section VI-B.2 refinement step."""
+    case: str
+    size: int
+    #: "nominal" (the paper's bistable references) or "attracting".
+    regime: str
+    #: synthesizer block set: "sampled" (true CEGIS) or "full".
+    synthesis: str
+    #: rounding protocol: "structured" (exact continuity) or
+    #: "independent" (the paper's — pinned to fail).
+    snap: str
+    status: str  # "validated" | "infeasible" | "stalled" | "exhausted"
+    rounds: int
+    cuts: int
+    validated: bool
+    proved_infeasible: bool
+    synth_time: float
+    verify_time: float
+    refute_time: float
+    total_time: float
+    #: SHA-256 of the deterministic structural provenance (statuses,
+    #: per-round verdicts, cut fingerprints — no wall times).
+    digest: str
+    #: verification conditions still failing at the final round.
+    failed_checks: list = field(default_factory=list)
 
 
 def render_grid(

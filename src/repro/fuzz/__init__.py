@@ -18,6 +18,12 @@ experiment sweeps:
   (``--no-shrink`` to skip) and persisted under ``--artifacts`` as
   replayable specs + ``.npz`` dumps; ``--replay kind:n:seed`` re-runs
   one spec under the same profile;
+* ``--cegis N`` appends the ``cegis`` family: ground-truth *switched*
+  scenarios (:mod:`repro.oracle.cegis`) run through the full
+  counterexample-guided loop — ``cegis-shared`` must validate (and no
+  sampled cut may exclude the constructed witness), ``cegis-bistable``
+  must be proved infeasible; failures shrink and replay like every
+  other kind (e.g. ``--replay cegis-shared:2:7``);
 * ``--plant`` installs a deliberately sign-flipped ``sylvester``
   validator first — the campaign must then *fail*; this is the
   self-test proving the harness detects planted bugs (forces
@@ -72,6 +78,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0,
         help="campaign master seed (default 0)",
+    )
+    parser.add_argument(
+        "--cegis", type=int, default=0, metavar="N",
+        help="append N cegis-family scenarios (ground-truth switched "
+        "systems run through the full counterexample-guided loop; "
+        "verdicts and the cut-admissibility invariant known by "
+        "construction)",
     )
     parser.add_argument(
         "--max-n", type=int, default=None,
@@ -329,6 +342,10 @@ def main(argv=None) -> int:
         shards = 1
 
     specs = system_specs(args.systems, args.seed, profile.sizes)
+    if args.cegis:
+        from ..oracle import cegis_specs
+
+        specs = specs + cegis_specs(args.cegis, args.seed)
     profile_spec = profile.spec()
     tasks = [FuzzTask(profile=profile_spec, **spec) for spec in specs]
 

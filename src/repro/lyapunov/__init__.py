@@ -1,6 +1,21 @@
 """Lyapunov-function synthesis: the paper's six single-mode methods and
 the piecewise-quadratic switched-system attempt."""
 
+from .cegis import (
+    CegisOutcome,
+    CegisRound,
+    CegisWitness,
+    CenteredLmi,
+    CertificateCheck,
+    CertificateVerification,
+    PiecewiseCertificate,
+    assemble_centered_lmi,
+    cegis_piecewise,
+    refute_certificate,
+    seed_directions,
+    snap_certificate,
+    verify_certificate,
+)
 from .common import CommonLyapunovResult, synthesize_common
 from .discrete import (
     solve_stein_numeric,
@@ -41,4 +56,17 @@ __all__ = [
     "SettlingBound",
     "settling_bound",
     "verify_decay_rate_exact",
+    "CenteredLmi",
+    "assemble_centered_lmi",
+    "seed_directions",
+    "PiecewiseCertificate",
+    "snap_certificate",
+    "CertificateCheck",
+    "CertificateVerification",
+    "verify_certificate",
+    "CegisWitness",
+    "refute_certificate",
+    "CegisRound",
+    "CegisOutcome",
+    "cegis_piecewise",
 ]

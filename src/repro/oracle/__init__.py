@@ -21,6 +21,13 @@ the parallel runner.
 """
 
 from .artifacts import load_failures, replay_spec, write_failure
+from .cegis import (
+    CEGIS_KINDS,
+    CegisScenario,
+    cegis_specs,
+    check_cegis_scenario,
+    generate_cegis_scenario,
+)
 from .differential import (
     FuzzProfile,
     LONG_PROFILE,
@@ -40,6 +47,11 @@ from .shrink import ShrinkResult, shrink_failure
 
 __all__ = [
     "KINDS",
+    "CEGIS_KINDS",
+    "CegisScenario",
+    "cegis_specs",
+    "generate_cegis_scenario",
+    "check_cegis_scenario",
     "GeneratedSystem",
     "generate_system",
     "random_spd",

@@ -17,6 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .cegis import CEGIS_KINDS, check_cegis_scenario, generate_cegis_scenario
 from .differential import FuzzProfile, check_system
 from .generate import generate_system
 from .records import FuzzRecord
@@ -56,11 +57,20 @@ def write_failure(
     with (directory / "failures.jsonl").open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(entry, sort_keys=True) + "\n")
 
-    system = generate_system(record.kind, record.n, record.seed)
-    arrays = {"a": system.a_float, "stable": np.array(system.stable)}
-    if system.witness_p is not None:
-        arrays["witness_p"] = system.witness_p.to_numpy()
-        arrays["witness_q"] = system.witness_q.to_numpy()
+    if record.kind in CEGIS_KINDS:
+        scenario = generate_cegis_scenario(record.kind, record.n, record.seed)
+        arrays = {"expected": np.array(scenario.expected)}
+        for index, mode in enumerate(scenario.system.modes):
+            arrays[f"a{index}"] = mode.flow.a
+            arrays[f"b{index}"] = mode.flow.b
+        if scenario.witness_p is not None:
+            arrays["witness_p"] = scenario.witness_p.to_numpy()
+    else:
+        system = generate_system(record.kind, record.n, record.seed)
+        arrays = {"a": system.a_float, "stable": np.array(system.stable)}
+        if system.witness_p is not None:
+            arrays["witness_p"] = system.witness_p.to_numpy()
+            arrays["witness_q"] = system.witness_q.to_numpy()
     path = directory / f"{_case_name(spec)}.npz"
     np.savez(path, **arrays)
     return path
@@ -82,5 +92,9 @@ def replay_spec(
     spec: dict, profile: FuzzProfile | None = None
 ) -> FuzzRecord:
     """Regenerate a spec'd system and re-run the full battery on it."""
+    if spec["kind"] in CEGIS_KINDS:
+        return check_cegis_scenario(
+            spec["kind"], spec["n"], spec["seed"], profile
+        )
     system = generate_system(spec["kind"], spec["n"], spec["seed"])
     return check_system(system, profile)

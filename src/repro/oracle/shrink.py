@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .cegis import CEGIS_KINDS, check_cegis_scenario
 from .differential import FuzzProfile, check_system
 from .generate import generate_system
 from .records import FuzzRecord
@@ -50,10 +51,15 @@ def shrink_failure(
     for n_small in range(1, record.n + 1):
         attempts += 1
         try:
-            system = generate_system(record.kind, n_small, record.seed)
+            if record.kind in CEGIS_KINDS:
+                reduced = check_cegis_scenario(
+                    record.kind, n_small, record.seed, profile
+                )
+            else:
+                system = generate_system(record.kind, n_small, record.seed)
+                reduced = check_system(system, profile)
         except Exception:
             continue  # kind may not exist at this size (e.g. jordan n=1)
-        reduced = check_system(system, profile)
         if reduced.failed:
             return ShrinkResult(
                 original=original, minimal=reduced.spec(),

@@ -51,6 +51,7 @@ from .journal import (
 )
 from .shard import resolve_shards, run_sharded, shard_of
 from .tasks import (
+    CegisTask,
     Figure3Task,
     FuzzTask,
     PiecewiseTask,
@@ -96,6 +97,7 @@ __all__ = [
     "Figure3Task",
     "Table2Task",
     "PiecewiseTask",
+    "CegisTask",
     "FuzzTask",
     "TaskTiming",
     "TimingCollector",

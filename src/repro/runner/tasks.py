@@ -19,9 +19,10 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..engine import case_by_name, mode_gains
+from ..engine import REGIME_MARGINS, case_by_name, mode_gains, nominal_reference
 from ..exact import RationalMatrix, solve_vector, to_fraction
 from ..experiments.records import (
+    CegisRecord,
     Figure3Record,
     PiecewiseRecord,
     Table1Record,
@@ -39,6 +40,7 @@ __all__ = [
     "Figure3Task",
     "Table2Task",
     "PiecewiseTask",
+    "CegisTask",
     "FuzzTask",
 ]
 
@@ -475,6 +477,106 @@ class PiecewiseTask(Task):
         detail.update(result.phases)
         return detail
 
+class CegisTask(Task):
+    """One CEGIS campaign on a benchmark case at a reference regime.
+
+    Pickles as plain scalars; the worker rebuilds the switched system
+    from the case name and the regime's reference margin
+    (:data:`repro.engine.REGIME_MARGINS`) and runs
+    :func:`repro.lyapunov.cegis_piecewise`. The record carries the
+    deterministic provenance digest, so journal fingerprints (and the
+    CI smoke golden-diff) are stable across reruns.
+    """
+
+    def __init__(self, case_name, size, regime, synthesis="sampled",
+                 snap="structured", max_rounds=40, max_iterations=30_000,
+                 verify_max_boxes=20_000, refute=False, icp_backend="auto"):
+        self.case_name = case_name
+        self.size = size
+        self.regime = regime
+        self.synthesis = synthesis
+        self.snap = snap
+        self.max_rounds = max_rounds
+        self.max_iterations = max_iterations
+        self.verify_max_boxes = verify_max_boxes
+        self.refute = refute
+        self.icp_backend = icp_backend
+
+    def key(self):
+        return {
+            "case": self.case_name, "regime": self.regime,
+            "synthesis": self.synthesis, "snap": self.snap,
+        }
+
+    def run(self):
+        from ..lyapunov import cegis_piecewise
+
+        case = case_by_name(self.case_name)
+        r = nominal_reference(
+            case.plant, margin=REGIME_MARGINS[self.regime]
+        )
+        system = case.switched_system(r)
+        outcome = cegis_piecewise(
+            system,
+            synthesis=self.synthesis,
+            snap=self.snap,
+            max_rounds=self.max_rounds,
+            max_iterations=self.max_iterations,
+            verify_max_boxes=self.verify_max_boxes,
+            refute=self.refute,
+            icp_backend=self.icp_backend,
+        )
+        last = outcome.rounds[-1] if outcome.rounds else None
+        failed = []
+        if last is not None and not outcome.validated:
+            failed = [
+                name for name, verdict in sorted(last.checks.items())
+                if verdict is not True
+            ]
+        return CegisRecord(
+            case=self.case_name,
+            size=self.size,
+            regime=self.regime,
+            synthesis=self.synthesis,
+            snap=self.snap,
+            status=outcome.status,
+            rounds=len(outcome.rounds),
+            cuts=outcome.cut_count,
+            validated=outcome.validated,
+            proved_infeasible=outcome.status == "infeasible",
+            synth_time=sum(r.synth_time for r in outcome.rounds),
+            verify_time=sum(r.verify_time for r in outcome.rounds),
+            refute_time=sum(r.refute_time for r in outcome.rounds),
+            total_time=outcome.total_time,
+            digest=outcome.digest(),
+            failed_checks=failed,
+        )
+
+    def _aborted(self, reason, elapsed):
+        return CegisRecord(
+            case=self.case_name, size=self.size, regime=self.regime,
+            synthesis=self.synthesis, snap=self.snap,
+            status="aborted", rounds=0, cuts=0,
+            validated=False, proved_infeasible=False,
+            synth_time=elapsed, verify_time=0.0, refute_time=0.0,
+            total_time=elapsed, digest="", failed_checks=[reason],
+        )
+
+    def on_timeout(self, elapsed):
+        return self._aborted("runner deadline exceeded", elapsed)
+
+    def on_error(self, message):
+        return self._aborted(f"task error: {message}", 0.0)
+
+    def timing_detail(self, result):
+        return {
+            "synth_s": result.synth_time,
+            "verify_s": result.verify_time,
+            "rounds": result.rounds,
+            "cuts": result.cuts,
+        }
+
+
 class FuzzTask(Task):
     """One oracle-fuzz case: regenerate a spec'd system, run the battery.
 
@@ -508,8 +610,15 @@ class FuzzTask(Task):
         })
 
     def run(self):
-        from ..oracle import check_system, generate_system
+        from ..oracle import (
+            CEGIS_KINDS,
+            check_cegis_scenario,
+            check_system,
+            generate_system,
+        )
 
+        if self.kind in CEGIS_KINDS:
+            return check_cegis_scenario(self.kind, self.n, self.seed)
         system = generate_system(self.kind, self.n, self.seed)
         return check_system(system, self._profile())
 

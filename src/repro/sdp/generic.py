@@ -42,6 +42,8 @@ __all__ = [
     "CompiledLmiSystem",
     "EllipsoidResult",
     "solve_lmi_ellipsoid",
+    "sampled_cut",
+    "cut_fingerprint",
 ]
 
 
@@ -75,6 +77,58 @@ class LmiBlock:
         matrix = self.evaluate(x)
         eigenvalues, vectors = np.linalg.eigh(matrix)
         return self.margin - float(eigenvalues[0]), vectors[:, 0]
+
+
+def sampled_cut(
+    block: LmiBlock, vector: np.ndarray, name: str = ""
+) -> LmiBlock:
+    """Restrict ``block`` to one direction: ``v^T F(x) v >= margin |v|^2``.
+
+    The returned 1x1 block is *implied* by the matrix constraint, so
+    adding it never excludes a point that is margin-feasible for the
+    original block — the soundness invariant the CEGIS metamorphic
+    fuzz check pins. The direction is normalized so cut fingerprints
+    (:func:`cut_fingerprint`) are scale-invariant.
+    """
+    v = np.asarray(vector, dtype=float)
+    norm = float(np.linalg.norm(v))
+    if norm <= 0.0 or not np.isfinite(norm):
+        raise ValueError("sampled_cut needs a nonzero finite direction")
+    v = v / norm
+    f0 = np.array([[float(v @ block.f0 @ v)]])
+    coefficients = [
+        np.array([[float(v @ f @ v)]]) for f in block.coefficients
+    ]
+    return LmiBlock(
+        f0,
+        coefficients,
+        margin=block.margin,
+        name=name or (f"cut:{block.name}" if block.name else "cut"),
+    )
+
+
+def cut_fingerprint(
+    block_name: str, vector: np.ndarray, digits: int = 6
+) -> tuple:
+    """Hashable identity of a sampled cut: block + normalized direction.
+
+    Directions are normalized to unit length, sign-canonicalized (the
+    first nonzero component made positive — ``v`` and ``-v`` induce the
+    same quadratic cut) and rounded to ``digits`` decimals, so
+    near-identical witnesses from different refutation rounds collapse
+    to one fingerprint and the loop cannot stall re-adding them.
+    """
+    v = np.asarray(vector, dtype=float)
+    norm = float(np.linalg.norm(v))
+    if norm > 0.0 and np.isfinite(norm):
+        v = v / norm
+    rounded = np.round(v, digits) + 0.0  # fold -0.0 into +0.0
+    for component in rounded:
+        if component != 0.0:
+            if component < 0.0:
+                rounded = -rounded + 0.0
+            break
+    return (block_name, tuple(float(c) for c in rounded))
 
 
 @dataclass
@@ -141,6 +195,68 @@ class CompiledLmiSystem:
     @property
     def n_blocks(self) -> int:
         return len(self.blocks)
+
+    def with_cuts(self, cuts: list[LmiBlock]) -> "CompiledLmiSystem":
+        """A new compiled system with ``cuts`` appended.
+
+        Group tensors for sizes untouched by the cuts are shared with
+        ``self`` (no re-stacking); only the groups whose size gains a
+        block are rebuilt. This keeps per-round recompilation in a
+        CEGIS loop proportional to the number of cuts, not to the size
+        of the base system.
+        """
+        if not cuts:
+            return self
+        for cut in cuts:
+            if len(cut.coefficients) != self.dimension:
+                raise ValueError(
+                    f"cut {cut.name!r} has {len(cut.coefficients)} "
+                    f"coefficients, expected {self.dimension}"
+                )
+        combined = CompiledLmiSystem.__new__(CompiledLmiSystem)
+        combined.blocks = self.blocks + list(cuts)
+        combined.dimension = self.dimension
+        touched = {cut.f0.shape[0] for cut in cuts}
+        by_size: dict[int, list[int]] = {}
+        for index, block in enumerate(combined.blocks):
+            by_size.setdefault(block.f0.shape[0], []).append(index)
+        reusable = {group.size: group for group in self.groups}
+        combined.groups = []
+        combined._where = np.empty((len(combined.blocks), 2), dtype=int)
+        for position, (size, indices) in enumerate(sorted(by_size.items())):
+            if size not in touched and size in reusable:
+                old = reusable[size]
+                group = _BlockGroup(
+                    size=size,
+                    indices=np.asarray(indices, dtype=int),
+                    f0=old.f0,
+                    tensor=old.tensor,
+                    margins=old.margins,
+                    eye=old.eye,
+                )
+            else:
+                group = _BlockGroup(
+                    size=size,
+                    indices=np.asarray(indices, dtype=int),
+                    f0=np.stack(
+                        [combined.blocks[i].f0 for i in indices]
+                    ),
+                    tensor=np.stack(
+                        [
+                            np.stack(combined.blocks[i].coefficients)
+                            for i in indices
+                        ]
+                    ),
+                    margins=np.array(
+                        [combined.blocks[i].margin for i in indices],
+                        dtype=float,
+                    ),
+                    eye=np.eye(size),
+                )
+            combined.groups.append(group)
+            for row, index in enumerate(indices):
+                combined._where[index] = (position, row)
+        return combined
 
     # ------------------------------------------------------------------
     def _group_values(
@@ -274,6 +390,7 @@ def solve_lmi_ellipsoid(
     batch_oracle: bool = True,
     sweep_every: int | None = None,
     compiled: CompiledLmiSystem | None = None,
+    initial_center: np.ndarray | None = None,
 ) -> EllipsoidResult:
     """Run the deep-cut ellipsoid method until feasibility or collapse.
 
@@ -286,7 +403,12 @@ def solve_lmi_ellipsoid(
     sweep forced every ``K`` iterations and before any feasibility or
     best-iterate claim. ``compiled`` reuses an existing
     :class:`CompiledLmiSystem` (e.g. shared with the barrier polisher)
-    instead of compiling ``blocks`` again.
+    instead of compiling ``blocks`` again. ``initial_center`` recenters
+    the starting ellipsoid (default: the origin) — the CEGIS loop's
+    resynthesis warm start, which keeps the initial ball around the
+    previous round's near-feasible iterate. Note the infeasibility
+    certificate (cut depth >= 1) then covers the ball around *that*
+    center.
 
     Raises :class:`LmiInfeasibleError` when the ellipsoid volume shrinks
     below the point where any feasible set of nontrivial volume would
@@ -310,7 +432,15 @@ def solve_lmi_ellipsoid(
         system = compiled if compiled is not None else CompiledLmiSystem(
             blocks, dimension
         )
-    x = np.zeros(dimension)
+    if initial_center is None:
+        x = np.zeros(dimension)
+    else:
+        x = np.asarray(initial_center, dtype=float).copy()
+        if x.shape != (dimension,):
+            raise ValueError(
+                f"initial_center has shape {x.shape}, expected "
+                f"({dimension},)"
+            )
     shape = (initial_radius**2) * np.eye(dimension)  # ellipsoid matrix
     history: list[float] = []
     best_x = x.copy()

@@ -51,6 +51,12 @@ from .terms import (
     to_dnf,
     to_nnf,
 )
+from .witness import (
+    atom_violation,
+    point_satisfies,
+    witness_point,
+    witness_violations,
+)
 
 __all__ = [
     "Term",
@@ -96,6 +102,10 @@ __all__ = [
     "SmtStatus",
     "SphereCheckOutcome",
     "check_positive_definite_icp",
+    "witness_point",
+    "atom_violation",
+    "witness_violations",
+    "point_satisfies",
     "term_to_smtlib",
     "formula_to_smtlib",
     "script_for_refutation",
